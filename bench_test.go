@@ -1,0 +1,258 @@
+package feddrl
+
+// The benchmark harness regenerates every table and figure of the
+// paper's evaluation (DESIGN.md §4 maps experiment ids to paper
+// artifacts). Each Benchmark runs the experiment at CI scale and prints
+// the rendered rows once, so
+//
+//	go test -bench=. -benchmem
+//
+// both times the harness and reproduces the evaluation's shape. Use
+// cmd/tables -scale medium|paper for the larger runs recorded in
+// EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"feddrl/internal/core"
+	"feddrl/internal/experiments"
+	"feddrl/internal/fl"
+	"feddrl/internal/mathx"
+)
+
+var printOnce sync.Map
+
+// runExperimentBench executes a registered experiment b.N times and
+// prints its output the first time it runs in this process.
+func runExperimentBench(b *testing.B, id string) {
+	b.Helper()
+	s := experiments.CI()
+	for i := 0; i < b.N; i++ {
+		out, err := experiments.Run(id, s, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, loaded := printOnce.LoadOrStore(id, true); !loaded {
+			fmt.Fprintf(os.Stdout, "\n%s\n", out)
+		}
+	}
+}
+
+// --- One benchmark per paper artifact -------------------------------
+
+func BenchmarkTable2Partitions(b *testing.B)          { runExperimentBench(b, "table2") }
+func BenchmarkFigure4Illustration(b *testing.B)       { runExperimentBench(b, "figure4") }
+func BenchmarkTable3Accuracy(b *testing.B)            { runExperimentBench(b, "table3") }
+func BenchmarkFigure5Timelines(b *testing.B)          { runExperimentBench(b, "figure5") }
+func BenchmarkFigure6ClientRobustness(b *testing.B)   { runExperimentBench(b, "figure6") }
+func BenchmarkFigure7ParticipationSweep(b *testing.B) { runExperimentBench(b, "figure7") }
+func BenchmarkFigure8NonIIDSweep(b *testing.B)        { runExperimentBench(b, "figure8") }
+func BenchmarkFigure9ServerOverhead(b *testing.B)     { runExperimentBench(b, "figure9") }
+func BenchmarkFigure10Convergence(b *testing.B)       { runExperimentBench(b, "figure10") }
+func BenchmarkTable4LabelSizeImbalance(b *testing.B)  { runExperimentBench(b, "table4") }
+
+// --- Ablations (DESIGN.md §4) ----------------------------------------
+
+func BenchmarkAblationRewardGap(b *testing.B) { runExperimentBench(b, "ablation-reward") }
+func BenchmarkAblationStateNorm(b *testing.B) { runExperimentBench(b, "ablation-statenorm") }
+func BenchmarkAblationTwoStage(b *testing.B)  { runExperimentBench(b, "ablation-twostage") }
+func BenchmarkAblationPrior(b *testing.B)     { runExperimentBench(b, "ablation-prior") }
+func BenchmarkCommOverhead(b *testing.B)      { runExperimentBench(b, "comm-overhead") }
+func BenchmarkHeadlineClaim(b *testing.B)     { runExperimentBench(b, "headline") }
+
+// --- Figure 1 (motivation): cluster-skewed pill cohorts ---------------
+
+func BenchmarkFigure1PillClusters(b *testing.B) {
+	spec := DataSpec{
+		Name: "pills", Classes: 12,
+		Shape:         ImageShape{C: 1, H: 8, W: 8},
+		TrainPerClass: 20, TestPerClass: 5,
+		ProtoStd: 1.4, NoiseStd: 0.8,
+	}
+	for i := 0; i < b.N; i++ {
+		train, _ := Synthesize(spec, 2026)
+		assign := ClusteredNonEqual(train, 30, 0.6, 4, 3, 1.2, NewRNG(3))
+		st := ComputePartitionStats(train, assign)
+		if _, loaded := printOnce.LoadOrStore("figure1", true); !loaded {
+			fmt.Printf("\nFigure 1 analogue: 30 patients, 3 disease cohorts\n")
+			fmt.Printf("cluster score %.3f, quantity CV %.3f, coverage %.0f%%\n",
+				st.ClusterScore, st.QuantityCV, st.Coverage*100)
+		}
+	}
+}
+
+// --- Fig. 9 micro-benchmarks: the two server-side costs ---------------
+
+// BenchmarkDRLDecision measures one impact-factor decision (policy
+// forward + softmax sampling) at the paper's K=10, Table 1 sizing. The
+// paper reports ~3 ms on a Xeon; the claim to preserve is that this cost
+// is model-size independent and small.
+func BenchmarkDRLDecision(b *testing.B) {
+	cfg := core.DefaultConfig(10)
+	agent := core.NewAgent(cfg)
+	state := make([]float64, cfg.StateDim())
+	for i := range state {
+		state[i] = 0.1 * float64(i%7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		act := agent.Act(state, false)
+		_ = agent.ImpactFactors(act, false)
+	}
+}
+
+// BenchmarkAggregateCNN and BenchmarkAggregateVGG measure the Eq. 4
+// weighted merge for the two model sizes of Fig. 9: aggregation cost must
+// grow with parameter count while the DRL decision does not.
+func benchmarkAggregate(b *testing.B, factory ModelFactory) {
+	const k = 10
+	dim := factory(1).NumParams()
+	ups := make([]fl.Update, k)
+	for i := range ups {
+		w := make([]float64, dim)
+		for j := range w {
+			w[j] = float64(i + j)
+		}
+		ups[i] = fl.Update{N: 100, Weights: w}
+	}
+	alpha := make([]float64, k)
+	for i := range alpha {
+		alpha[i] = 1.0 / k
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Aggregate(ups, alpha)
+	}
+	b.ReportMetric(float64(dim), "params")
+}
+
+func BenchmarkAggregateCNN(b *testing.B) {
+	spec := MNISTSim()
+	benchmarkAggregate(b, CNNFactory(spec.Shape, spec.Classes))
+}
+
+func BenchmarkAggregateVGG(b *testing.B) {
+	spec := CIFAR100Sim()
+	benchmarkAggregate(b, func(seed uint64) *Network {
+		return NewVGGMini(NewRNG(seed), spec.Shape.C, spec.Shape.H, spec.Shape.W, spec.Classes)
+	})
+}
+
+// --- Component benchmarks ---------------------------------------------
+
+// BenchmarkClientLocalRound measures one client's full local round (the
+// dominant cost of every experiment).
+func BenchmarkClientLocalRound(b *testing.B) {
+	spec := MNISTSim().Scaled(0.2)
+	train, _ := Synthesize(spec, 1)
+	factory := MLPFactory(train.Dim, []int{48}, train.NumClasses)
+	client := NewClient(0, train, factory, 2)
+	global := factory(3).ParamVector()
+	lc := LocalConfig{Epochs: 1, Batch: 10, LR: 0.03}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = client.Run(global, lc)
+	}
+}
+
+// BenchmarkAgentTrainStep measures one Algorithm 1 training call at
+// Table 1 sizing with a warm buffer.
+func BenchmarkAgentTrainStep(b *testing.B) {
+	cfg := core.DefaultConfig(10)
+	cfg.UpdatesPerRound = 1
+	cfg.BufferCap = 1024
+	agent := core.NewAgent(cfg)
+	s := make([]float64, cfg.StateDim())
+	act := make([]float64, cfg.ActionDim())
+	for i := 0; i < 128; i++ {
+		s[0] = float64(i)
+		agent.Observe(s, act, -1, s)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		agent.Train()
+	}
+}
+
+// BenchmarkFullRoundFedAvg and BenchmarkFullRoundFedDRL compare the cost
+// of a complete communication round under both aggregators (the FedDRL
+// overhead claim of §5.3, end to end).
+func benchmarkFullRound(b *testing.B, useDRL bool) {
+	spec := MNISTSim().Scaled(0.1)
+	train, test := Synthesize(spec, 1)
+	assign := ClusteredEqual(train, 6, 0.6, 2, 3, NewRNG(2))
+	factory := MLPFactory(train.Dim, []int{32}, train.NumClasses)
+	cfg := RunConfig{
+		Rounds: 1, K: 6,
+		Local:   LocalConfig{Epochs: 1, Batch: 10, LR: 0.03},
+		Factory: factory, Seed: 3,
+		EvalEvery: 1,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		clients := BuildClients(train, assign.ClientIndices, factory, 3)
+		var agg Aggregator = FedAvg{}
+		if useDRL {
+			drlCfg := core.DefaultConfig(6)
+			drlCfg.Hidden = 64
+			drlCfg.WarmupExperiences = 1
+			drlCfg.UpdatesPerRound = 1
+			agg = NewFedDRL(core.NewAgent(drlCfg))
+		}
+		b.StartTimer()
+		_ = Run(cfg, clients, test, agg)
+	}
+}
+
+func BenchmarkFullRoundFedAvg(b *testing.B) { benchmarkFullRound(b, false) }
+func BenchmarkFullRoundFedDRL(b *testing.B) { benchmarkFullRound(b, true) }
+
+// BenchmarkRewardAndState measures the per-round server bookkeeping of
+// FedDRL (state assembly + reward), which §5.3 argues is trivial.
+func BenchmarkRewardAndState(b *testing.B) {
+	cfg := core.DefaultConfig(10)
+	lb := make([]float64, 10)
+	la := make([]float64, 10)
+	ns := make([]int, 10)
+	for i := range lb {
+		lb[i] = 1 + 0.1*float64(i)
+		la[i] = 0.5
+		ns[i] = 100
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := core.BuildState(cfg, lb, la, ns)
+		_ = core.RewardOf(cfg, lb)
+		_ = mathx.Sum(s)
+	}
+}
+
+// TestBenchHarnessSmoke keeps the benchmark harness itself under test:
+// every registered experiment must run at a micro scale without
+// panicking.
+func TestBenchHarnessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	s := experiments.CI()
+	s.DataScale = 0.06
+	s.Rounds = 3
+	s.SmallN = 6
+	s.LargeN = 8
+	s.K = 4
+	s.Epochs = 1
+	s.KSweep = []int{2, 4}
+	s.Deltas = []float64{0.3, 0.6}
+	start := time.Now()
+	for _, id := range experiments.Names() {
+		if _, err := experiments.Run(id, s, 1); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	t.Logf("all %d experiments ran in %v", len(experiments.Names()), time.Since(start))
+}

@@ -1,0 +1,117 @@
+// Command fedsim runs one federated-learning experiment cell from flags:
+// a dataset, a non-IID partition, a method, and federation sizes. It
+// prints the per-round accuracy timeline and a summary.
+//
+// Example:
+//
+//	fedsim -dataset mnist -partition CE -method FedDRL -clients 10 -k 10 -rounds 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"feddrl"
+)
+
+func main() {
+	dsName := flag.String("dataset", "mnist", "dataset: mnist, fashion or cifar100")
+	partName := flag.String("partition", "CE", "partition: PA, CE, CN, Equal or Non-equal")
+	method := flag.String("method", "FedDRL", "method: SingleSet, FedAvg, FedProx or FedDRL")
+	clients := flag.Int("clients", 10, "number of clients N")
+	k := flag.Int("k", 10, "participating clients per round K")
+	rounds := flag.Int("rounds", 20, "communication rounds")
+	delta := flag.Float64("delta", 0.6, "cluster-skew level (CE/CN)")
+	dataScale := flag.Float64("datascale", 0.3, "dataset size multiplier")
+	epochs := flag.Int("epochs", 3, "local epochs E")
+	lr := flag.Float64("lr", 0.03, "local learning rate")
+	exploreStd := flag.Float64("explorestd", 0.05, "FedDRL exploration noise scale")
+	exploreDecay := flag.Float64("exploredecay", 0.99, "FedDRL exploration decay per action")
+	seed := flag.Uint64("seed", 1, "run seed")
+	flag.Parse()
+
+	var spec feddrl.DataSpec
+	switch *dsName {
+	case "mnist":
+		spec = feddrl.MNISTSim()
+	case "fashion":
+		spec = feddrl.FashionSim()
+	case "cifar100":
+		spec = feddrl.CIFAR100Sim()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dsName)
+		os.Exit(2)
+	}
+	spec = spec.Scaled(*dataScale)
+	train, test := feddrl.Synthesize(spec, *seed)
+
+	lpc := 2
+	if spec.Classes >= 100 {
+		lpc = 20
+	}
+	r := feddrl.NewRNG(*seed + 1)
+	var assign *feddrl.Assignment
+	switch *partName {
+	case "PA":
+		assign = feddrl.Pareto(train, *clients, lpc, 1.5, r)
+	case "CE":
+		assign = feddrl.ClusteredEqual(train, *clients, *delta, lpc, 3, r)
+	case "CN":
+		assign = feddrl.ClusteredNonEqual(train, *clients, *delta, lpc, 3, 1.0, r)
+	case "Equal":
+		assign = feddrl.EqualShards(train, *clients, 2, r)
+	case "Non-equal":
+		assign = feddrl.NonEqualShards(train, *clients, 10, 6, 14, r)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown partition %q\n", *partName)
+		os.Exit(2)
+	}
+
+	factory := feddrl.MLPFactory(train.Dim, []int{48}, train.NumClasses)
+	kk := *k
+	if kk > *clients {
+		kk = *clients
+	}
+	cfg := feddrl.RunConfig{
+		Rounds:  *rounds,
+		K:       kk,
+		Local:   feddrl.LocalConfig{Epochs: *epochs, Batch: 10, LR: *lr},
+		Factory: factory,
+		Seed:    *seed + 2,
+	}
+
+	var res *feddrl.Result
+	switch *method {
+	case "SingleSet":
+		res = feddrl.SingleSet(cfg, train, test)
+	case "FedAvg":
+		res = feddrl.Run(cfg, feddrl.BuildClients(train, assign.ClientIndices, factory, *seed+3), test, feddrl.FedAvg{})
+	case "FedProx":
+		cfg.Local.ProxMu = 0.01
+		res = feddrl.Run(cfg, feddrl.BuildClients(train, assign.ClientIndices, factory, *seed+3), test, feddrl.FedProx{})
+	case "FedDRL":
+		drlCfg := feddrl.DefaultAgentConfig(kk)
+		drlCfg.Hidden = 64
+		drlCfg.BatchSize = 32
+		drlCfg.WarmupExperiences = 8
+		drlCfg.UpdatesPerRound = 4
+		drlCfg.ExploreStd = *exploreStd
+		drlCfg.ExploreDecay = *exploreDecay
+		drlCfg.Seed = *seed + 4
+		res = feddrl.Run(cfg, feddrl.BuildClients(train, assign.ClientIndices, factory, *seed+3), test, feddrl.NewFedDRL(feddrl.NewAgent(drlCfg)))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	fmt.Printf("%s on %s/%s, N=%d K=%d rounds=%d\n", res.Method, spec.Name, *partName, *clients, kk, *rounds)
+	fmt.Println(strings.Repeat("-", 48))
+	for i, acc := range res.Accuracy {
+		fmt.Printf("round %3d  acc %6.2f%%\n", res.AccRounds[i], acc)
+	}
+	fmt.Println(strings.Repeat("-", 48))
+	fmt.Printf("best %.2f%%  final %.2f%%  params %d\n", res.Best(), res.Final(), res.NumParam)
+	fmt.Printf("mean decision time %v, mean aggregation time %v\n", res.MeanDecisionTime(), res.MeanAggTime())
+}

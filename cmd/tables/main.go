@@ -1,0 +1,69 @@
+// Command tables regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	tables -exp table3 -scale ci -seed 1
+//	tables -exp all -scale medium
+//	tables -list
+//
+// Experiment ids are the paper's table/figure numbers (table2, table3,
+// table4, figure4..figure10) plus the DESIGN.md ablations
+// (ablation-reward, ablation-statenorm, ablation-twostage).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"feddrl"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	scaleName := flag.String("scale", "ci", "scale: ci, medium or paper")
+	seed := flag.Uint64("seed", 1, "experiment seed")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	csvDir := flag.String("csvdir", "", "also export figure series as CSV into this directory (figure5/7/8)")
+	rounds := flag.Int("rounds", 0, "override the scale's communication rounds (0 = keep)")
+	flag.Parse()
+
+	if *list {
+		for _, n := range feddrl.ExperimentNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	scale, err := feddrl.ScaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *rounds > 0 {
+		scale.Rounds = *rounds
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = feddrl.ExperimentNames()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		out, err := feddrl.RunExperiment(id, scale, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		fmt.Printf("### %s (scale=%s, seed=%d, took %v)\n\n%s\n", id, scale.Name, *seed, time.Since(start).Round(time.Millisecond), out)
+		if *csvDir != "" {
+			paths, err := feddrl.ExportExperimentCSV(id, scale, *seed, *csvDir)
+			if err == nil {
+				for _, p := range paths {
+					fmt.Printf("csv: %s\n", p)
+				}
+			}
+		}
+	}
+}

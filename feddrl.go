@@ -1,0 +1,252 @@
+// Package feddrl is the public API of the FedDRL reproduction: a
+// federated-learning simulator with deep-reinforcement-learning-based
+// adaptive aggregation (Nguyen et al., "FedDRL: Deep Reinforcement
+// Learning-based Adaptive Aggregation for Non-IID Data in Federated
+// Learning", ICPP 2022).
+//
+// The package re-exports the user-facing types of the internal
+// implementation packages so downstream code only imports "feddrl":
+//
+//   - datasets: Synthesize + the MNISTSim/FashionSim/CIFAR100Sim specs
+//   - non-IID partitioners: Pareto (PA), ClusteredEqual (CE, the paper's
+//     cluster skew), ClusteredNonEqual (CN), EqualShards, NonEqualShards
+//   - the FL loop: NewClient/BuildClients, Run, SingleSet
+//   - aggregators: FedAvg, FedProx, NewFedDRL (the paper's contribution),
+//     or any custom Aggregator implementation
+//   - the DRL agent: NewAgent, DefaultAgentConfig, TrainTwoStage
+//   - experiment harness: ExperimentNames, RunExperiment and the
+//     CIScale/MediumScale/PaperScale presets
+//
+// See examples/quickstart for a 30-second end-to-end run.
+package feddrl
+
+import (
+	"feddrl/internal/core"
+	"feddrl/internal/dataset"
+	"feddrl/internal/experiments"
+	"feddrl/internal/fl"
+	"feddrl/internal/metrics"
+	"feddrl/internal/nn"
+	"feddrl/internal/partition"
+	"feddrl/internal/rng"
+	"feddrl/internal/serialize"
+)
+
+// Dataset and synthesis types.
+type (
+	// Dataset is an in-memory labelled dataset (see internal/dataset).
+	Dataset = dataset.Dataset
+	// DataSpec configures a synthetic dataset.
+	DataSpec = dataset.Spec
+	// ImageShape is the CHW layout of one sample.
+	ImageShape = dataset.ImageShape
+)
+
+// Partitioning types.
+type (
+	// Assignment maps clients to dataset indices.
+	Assignment = partition.Assignment
+	// PartitionStats summarizes an assignment (Table 2 inputs).
+	PartitionStats = partition.Stats
+)
+
+// Federated-learning types.
+type (
+	// Client owns a private shard and a local model.
+	Client = fl.Client
+	// Update is the per-round tuple a client uploads.
+	Update = fl.Update
+	// Aggregator decides the impact factors each round. Implement this
+	// interface to plug in custom aggregation rules (see
+	// examples/customagg).
+	Aggregator = fl.Aggregator
+	// FedAvg is sample-count-proportional aggregation (Eq. 1).
+	FedAvg = fl.FedAvg
+	// FedProx labels FedAvg aggregation with client-side proximal term.
+	FedProx = fl.FedProx
+	// FedDRLAggregator is the paper's DRL-driven aggregator.
+	FedDRLAggregator = fl.FedDRL
+	// RunConfig configures a federated run.
+	RunConfig = fl.RunConfig
+	// LocalConfig is the client-side solver configuration.
+	LocalConfig = fl.LocalConfig
+	// Result is a training run's record.
+	Result = fl.Result
+	// RoundMetrics is one round's measurements.
+	RoundMetrics = fl.RoundMetrics
+)
+
+// DRL agent types.
+type (
+	// Agent is the DDPG-style impact-factor agent (§3.3–3.4).
+	Agent = core.Agent
+	// AgentConfig holds the agent hyperparameters (Table 1).
+	AgentConfig = core.Config
+	// Env is the environment interface for two-stage training.
+	Env = core.Env
+	// TwoStageResult reports TrainTwoStage's outcome.
+	TwoStageResult = core.TwoStageResult
+)
+
+// Model and experiment types.
+type (
+	// ModelFactory builds a fresh network from a seed.
+	ModelFactory = nn.Factory
+	// Network is a trainable sequential model.
+	Network = nn.Network
+	// Scale selects experiment sizing (CI / medium / paper).
+	Scale = experiments.Scale
+	// Series is an ordered sequence of per-round measurements.
+	Series = metrics.Series
+)
+
+// Dataset constructors.
+var (
+	// Synthesize generates train/test splits for a spec.
+	Synthesize = dataset.Synthesize
+	// MNISTSim is the 10-class MNIST analogue spec.
+	MNISTSim = dataset.MNISTSim
+	// FashionSim is the harder 10-class Fashion-MNIST analogue spec.
+	FashionSim = dataset.FashionSim
+	// CIFAR100Sim is the 100-class CIFAR-100 analogue spec.
+	CIFAR100Sim = dataset.CIFAR100Sim
+)
+
+// Partitioners (§4.1.1, §5.1).
+var (
+	// Pareto is the PA power-law partitioner.
+	Pareto = partition.Pareto
+	// ClusteredEqual is the CE cluster-skew partitioner.
+	ClusteredEqual = partition.ClusteredEqual
+	// ClusteredNonEqual is the CN cluster-skew + quantity-skew partitioner.
+	ClusteredNonEqual = partition.ClusteredNonEqual
+	// EqualShards is the §5.1 Equal label-size-imbalance partitioner.
+	EqualShards = partition.EqualShards
+	// NonEqualShards is the §5.1 Non-equal partitioner.
+	NonEqualShards = partition.NonEqualShards
+	// DirichletPartition is the label-distribution-imbalance partitioner
+	// standard in the related work (§2.2.1).
+	DirichletPartition = partition.Dirichlet
+	// ComputePartitionStats analyses an assignment.
+	ComputePartitionStats = partition.ComputeStats
+	// PartitionASCII renders a Figure-4 style illustration.
+	PartitionASCII = partition.ASCII
+)
+
+// FL loop.
+var (
+	// NewClient wraps a shard in a federated client.
+	NewClient = fl.NewClient
+	// BuildClients shards a dataset by an assignment.
+	BuildClients = fl.BuildClients
+	// Run executes Algorithm 2 with the given aggregator.
+	Run = fl.Run
+	// SingleSet trains centrally on the combined data (the §4.1 baseline).
+	SingleSet = fl.SingleSet
+	// Aggregate computes the Eq. 4 weighted model merge.
+	Aggregate = fl.Aggregate
+	// NewFedDRL wraps an Agent as an Aggregator.
+	NewFedDRL = fl.NewFedDRL
+	// EvalLossAcc evaluates a model on a dataset.
+	EvalLossAcc = fl.EvalLossAcc
+)
+
+// DRL agent.
+var (
+	// NewAgent builds the DDPG-style agent.
+	NewAgent = core.NewAgent
+	// DefaultAgentConfig returns the Table 1 hyperparameters for K
+	// participating clients.
+	DefaultAgentConfig = core.DefaultConfig
+	// TrainTwoStage runs the §3.4.2 two-stage training strategy.
+	TrainTwoStage = core.TrainTwoStage
+)
+
+// Models.
+var (
+	// NewMLP builds a ReLU multi-layer perceptron.
+	NewMLP = nn.NewMLP
+	// NewSimpleCNN builds the paper's small CNN (§4.1.2).
+	NewSimpleCNN = nn.NewSimpleCNN
+	// NewVGGMini builds the scaled VGG stand-in (§4.1.2).
+	NewVGGMini = nn.NewVGGMini
+	// NewRNG builds the deterministic generator used across the library.
+	NewRNG = rng.New
+)
+
+// Experiments.
+var (
+	// CIScale finishes every experiment in seconds.
+	CIScale = experiments.CI
+	// MediumScale is the EXPERIMENTS.md configuration.
+	MediumScale = experiments.Medium
+	// PaperScale is the closest feasible match to §4.1.2.
+	PaperScale = experiments.Paper
+	// ScaleByName resolves "ci", "medium" or "paper".
+	ScaleByName = experiments.ScaleByName
+	// ExperimentNames lists the reproducible tables and figures.
+	ExperimentNames = experiments.Names
+	// RunExperiment executes a registered table/figure by id.
+	RunExperiment = experiments.Run
+	// ExportExperimentCSV writes a figure's series as CSV files.
+	ExportExperimentCSV = experiments.ExportCSV
+)
+
+// Checkpointing, communication accounting, selection and compression.
+type (
+	// Checkpoint is the binary snapshot format for models and agents.
+	Checkpoint = serialize.Checkpoint
+	// CommRound models one synchronous round's traffic (§5.3).
+	CommRound = fl.CommRound
+	// Selector chooses the participating clients each round.
+	Selector = fl.Selector
+	// UniformSelector is the paper's uniform random participation.
+	UniformSelector = fl.UniformSelector
+	// SizeWeightedSelector samples proportionally to shard size.
+	SizeWeightedSelector = fl.SizeWeightedSelector
+	// PowerOfChoiceSelector keeps the highest-loss candidates (Cho et al.).
+	PowerOfChoiceSelector = fl.PowerOfChoiceSelector
+	// RoundRobinSelector cycles deterministically.
+	RoundRobinSelector = fl.RoundRobinSelector
+	// SparseDelta is a top-k-compressed client update (§3.5).
+	SparseDelta = fl.SparseDelta
+)
+
+// Sparse update compression (§3.5 compatibility).
+var (
+	// CompressTopK keeps the k largest-magnitude weight deltas.
+	CompressTopK = fl.CompressTopK
+	// CompressUpdates compresses a round's updates at a keep fraction.
+	CompressUpdates = fl.CompressUpdates
+	// DecompressUpdates reconstructs dense updates server-side.
+	DecompressUpdates = fl.DecompressUpdates
+)
+
+var (
+	// NewCheckpoint returns an empty checkpoint.
+	NewCheckpoint = serialize.NewCheckpoint
+	// LoadCheckpoint reads a checkpoint file.
+	LoadCheckpoint = serialize.LoadFile
+	// RestoreAgent rebuilds an agent from a checkpoint.
+	RestoreAgent = core.RestoreAgent
+	// LoadAgentFile restores an agent from a checkpoint file.
+	LoadAgentFile = core.LoadAgentFile
+	// CommPerRound computes a round's traffic under an aggregator.
+	CommPerRound = fl.CommPerRound
+)
+
+// MLPFactory returns a ModelFactory for a dense network over inputs of
+// the given dimension — a convenience for quickstarts and examples.
+func MLPFactory(dim int, hidden []int, classes int) ModelFactory {
+	return func(seed uint64) *Network {
+		return nn.NewMLP(rng.New(seed), dim, hidden, classes)
+	}
+}
+
+// CNNFactory returns a ModelFactory for the paper's simple CNN over
+// images of the given shape.
+func CNNFactory(shape ImageShape, classes int) ModelFactory {
+	return func(seed uint64) *Network {
+		return nn.NewSimpleCNN(rng.New(seed), shape.C, shape.H, shape.W, classes)
+	}
+}

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"feddrl/internal/mathx"
+	"feddrl/internal/nn"
+	"feddrl/internal/replay"
+	"feddrl/internal/rng"
+	"feddrl/internal/tensor"
+)
+
+// Agent is the DDPG-style impact-factor agent of §3.4.1 (Fig. 3a): main
+// and target policy networks, main and target value networks, and a
+// TD-prioritized experience buffer. It is not safe for concurrent use;
+// the two-stage trainer runs one Agent per worker.
+type Agent struct {
+	cfg Config
+
+	policy, policyT *nn.Network
+	value, valueT   *nn.Network
+	popt, vopt      *nn.Adam
+
+	// Buffer is the agent's experience store; exposed for the two-stage
+	// merge (Fig. 3b).
+	Buffer *replay.Buffer
+
+	rng *rng.RNG
+
+	// exploreScale decays multiplicatively with every exploratory action.
+	exploreScale float64
+}
+
+// NewAgent builds an agent from the configuration.
+func NewAgent(cfg Config) *Agent {
+	cfg.Validate()
+	r := rng.New(cfg.Seed)
+	a := &Agent{
+		cfg:     cfg,
+		policy:  nn.NewPolicyMLP(r.Split(), cfg.StateDim(), cfg.K, cfg.Hidden),
+		policyT: nn.NewPolicyMLP(r.Split(), cfg.StateDim(), cfg.K, cfg.Hidden),
+		value:   nn.NewValueMLP(r.Split(), cfg.StateDim(), cfg.ActionDim(), cfg.Hidden),
+		valueT:  nn.NewValueMLP(r.Split(), cfg.StateDim(), cfg.ActionDim(), cfg.Hidden),
+		Buffer:  replay.New(cfg.BufferCap, r.Split()),
+		rng:     r,
+
+		exploreScale: 1,
+	}
+	a.popt = nn.NewAdam(cfg.PolicyLR)
+	a.vopt = nn.NewAdam(cfg.ValueLR)
+	a.popt.MaxGradNorm = cfg.MaxGradNorm
+	a.vopt.MaxGradNorm = cfg.MaxGradNorm
+	// Targets start as exact copies of the mains (Algorithm 1 input).
+	a.policyT.CopyFrom(a.policy)
+	a.valueT.CopyFrom(a.value)
+	return a
+}
+
+// Config returns the agent's configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+// BuildState assembles the 3K state of §3.3.2 from the per-client
+// global-model losses (l_b), local-model losses (l_a) and sample counts.
+// With NormalizeState, losses are scaled by 1/(1+mean(l_b)) and counts
+// become fractions of the round total.
+func (a *Agent) BuildState(lossesBefore, lossesAfter []float64, sampleCounts []int) []float64 {
+	return BuildState(a.cfg, lossesBefore, lossesAfter, sampleCounts)
+}
+
+// BuildState is the package-level form of Agent.BuildState, usable by
+// environments that simulate the server without holding an agent.
+func BuildState(cfg Config, lossesBefore, lossesAfter []float64, sampleCounts []int) []float64 {
+	k := cfg.K
+	if len(lossesBefore) != k || len(lossesAfter) != k || len(sampleCounts) != k {
+		panic(fmt.Sprintf("core: BuildState expects %d clients, got %d/%d/%d",
+			k, len(lossesBefore), len(lossesAfter), len(sampleCounts)))
+	}
+	s := make([]float64, 3*k)
+	copy(s[:k], lossesBefore)
+	copy(s[k:2*k], lossesAfter)
+	total := 0
+	for _, n := range sampleCounts {
+		total += n
+	}
+	for i, n := range sampleCounts {
+		if cfg.NormalizeState && total > 0 {
+			s[2*k+i] = float64(n) / float64(total)
+		} else {
+			s[2*k+i] = float64(n)
+		}
+	}
+	if cfg.NormalizeState {
+		scale := 1 / (1 + mathx.Mean(lossesBefore))
+		for i := 0; i < 2*k; i++ {
+			s[i] *= scale
+		}
+	}
+	return s
+}
+
+// actionTransform converts raw policy outputs (batch, 2K) into
+// constrained actions in place of a fresh tensor, recording the chain
+// needed for backprop: μ_k = raw_k; σ_k = min(softplus(raw_{K+k}), β·|μ_k|).
+func (a *Agent) actionTransform(raw *tensor.Tensor) (act *tensor.Tensor, clamped []bool) {
+	k := a.cfg.K
+	batch := raw.Rows()
+	act = tensor.New(batch, 2*k)
+	clamped = make([]bool, batch*k)
+	for i := 0; i < batch; i++ {
+		rr, ar := raw.Row(i), act.Row(i)
+		for j := 0; j < k; j++ {
+			mu := rr[j]
+			ar[j] = mu
+			sp := mathx.Softplus(rr[k+j])
+			bound := a.cfg.Beta * math.Abs(mu)
+			if sp > bound {
+				ar[k+j] = bound
+				clamped[i*k+j] = true
+			} else {
+				ar[k+j] = sp
+			}
+		}
+	}
+	return act, clamped
+}
+
+// actionBackward chains dQ/dAction to dQ/dRaw given the transform record.
+func (a *Agent) actionBackward(raw, dAct *tensor.Tensor, clamped []bool) *tensor.Tensor {
+	k := a.cfg.K
+	batch := raw.Rows()
+	dRaw := tensor.New(batch, 2*k)
+	for i := 0; i < batch; i++ {
+		rr, da, dr := raw.Row(i), dAct.Row(i), dRaw.Row(i)
+		for j := 0; j < k; j++ {
+			dMu, dSigma := da[j], da[k+j]
+			dr[j] = dMu
+			if clamped[i*k+j] {
+				// σ = β·|μ|: gradient flows into μ.
+				sign := 1.0
+				if rr[j] < 0 {
+					sign = -1
+				}
+				dr[j] += dSigma * a.cfg.Beta * sign
+				dr[k+j] = 0
+			} else {
+				// σ = softplus(raw): d softplus = sigmoid.
+				dr[k+j] = dSigma / (1 + math.Exp(-rr[k+j]))
+			}
+		}
+	}
+	return dRaw
+}
+
+// Act runs the main policy on one state and returns the constrained
+// action (K means followed by K standard deviations). With explore,
+// Gaussian noise ε ~ N(0, ExploreStd²) is added to the raw policy output
+// before the constraint (Algorithm 2 line 14).
+func (a *Agent) Act(state []float64, explore bool) []float64 {
+	if len(state) != a.cfg.StateDim() {
+		panic(fmt.Sprintf("core: Act state length %d, want %d", len(state), a.cfg.StateDim()))
+	}
+	x := tensor.FromSlice(append([]float64(nil), state...), 1, len(state))
+	raw := a.policy.Forward(x, false)
+	if explore && a.cfg.ExploreStd > 0 {
+		std := a.cfg.ExploreStd * a.exploreScale
+		for i := range raw.Data {
+			raw.Data[i] += a.rng.Normal(0, std)
+		}
+		a.exploreScale *= a.cfg.ExploreDecay
+	}
+	act, _ := a.actionTransform(raw)
+	return append([]float64(nil), act.Row(0)...)
+}
+
+// ImpactFactors converts an action into the aggregation weights of
+// Eq. 5: α = softmax(z), z_k ~ N(μ_k, σ_k) when explore, z_k = μ_k
+// otherwise. The result is a convex combination (non-negative, sums to 1).
+func (a *Agent) ImpactFactors(action []float64, explore bool) []float64 {
+	k := a.cfg.K
+	if len(action) != 2*k {
+		panic(fmt.Sprintf("core: ImpactFactors action length %d, want %d", len(action), 2*k))
+	}
+	z := make([]float64, k)
+	for i := 0; i < k; i++ {
+		if explore {
+			z[i] = a.rng.Normal(action[i], action[k+i])
+		} else {
+			z[i] = action[i]
+		}
+	}
+	return mathx.Softmax(z)
+}
+
+// ImpactFactorsWithPrior converts an action into aggregation weights
+// anchored on a prior: α = softmax(z + log prior), z_k ~ N(μ_k, σ_k)
+// when explore (z_k = μ_k otherwise). A zero action reproduces the prior
+// exactly, so the policy learns *deviations* from it — the residual
+// parameterization the FL aggregator uses with the FedAvg prior at
+// compressed round budgets (DESIGN.md "compressed-horizon adaptations").
+func (a *Agent) ImpactFactorsWithPrior(action, prior []float64, explore bool) []float64 {
+	k := a.cfg.K
+	if len(action) != 2*k || len(prior) != k {
+		panic(fmt.Sprintf("core: ImpactFactorsWithPrior lengths %d/%d, want %d/%d",
+			len(action), len(prior), 2*k, k))
+	}
+	z := make([]float64, k)
+	for i := 0; i < k; i++ {
+		if explore {
+			z[i] = a.rng.Normal(action[i], action[k+i])
+		} else {
+			z[i] = action[i]
+		}
+		p := prior[i]
+		if p < 1e-12 {
+			p = 1e-12
+		}
+		z[i] += math.Log(p)
+	}
+	return mathx.Softmax(z)
+}
+
+// Reward computes Eq. 7 (negated for maximization; see DESIGN.md):
+// r = −( mean(l_b) + w·(max(l_b) − min(l_b)) ) over the next round's
+// global-model losses.
+func (a *Agent) Reward(nextLossesBefore []float64) float64 {
+	return RewardOf(a.cfg, nextLossesBefore)
+}
+
+// RewardOf is the package-level form of Agent.Reward (Eq. 7, negated).
+func RewardOf(cfg Config, nextLossesBefore []float64) float64 {
+	if len(nextLossesBefore) == 0 {
+		panic("core: Reward with no losses")
+	}
+	avg := mathx.Mean(nextLossesBefore)
+	gap := mathx.Max(nextLossesBefore) - mathx.Min(nextLossesBefore)
+	return -(avg + cfg.RewardGapWeight*gap)
+}
+
+// Observe stores a non-terminal transition in the buffer with its
+// current TD error as priority. It reports whether the experience was
+// accepted (non-finite data is rejected). The FL aggregation task is a
+// continuing one; episodic environments should use ObserveDone for
+// terminal steps.
+func (a *Agent) Observe(s, act []float64, r float64, s2 []float64) bool {
+	return a.observe(s, act, r, s2, false)
+}
+
+// ObserveDone stores a terminal transition: the TD target is r alone,
+// without bootstrapping through s′.
+func (a *Agent) ObserveDone(s, act []float64, r float64, s2 []float64) bool {
+	return a.observe(s, act, r, s2, true)
+}
+
+func (a *Agent) observe(s, act []float64, r float64, s2 []float64, done bool) bool {
+	target := r
+	if !done {
+		target += a.cfg.Gamma * a.QValue(s2, act)
+	}
+	prior := target - a.QValue(s, act)
+	return a.Buffer.Add(replay.Experience{
+		S:     append([]float64(nil), s...),
+		A:     append([]float64(nil), act...),
+		R:     r,
+		S2:    append([]float64(nil), s2...),
+		Done:  done,
+		Prior: math.Abs(prior),
+	})
+}
+
+// ReadyToTrain reports whether the buffer has reached the warmup fill
+// ("if D is sufficient", Algorithm 2 line 19).
+func (a *Agent) ReadyToTrain() bool { return a.Buffer.Len() >= a.cfg.WarmupExperiences }
+
+// QValue evaluates the main value network on one (state, action) pair.
+func (a *Agent) QValue(s, act []float64) float64 {
+	in := make([]float64, 0, len(s)+len(act))
+	in = append(in, s...)
+	in = append(in, act...)
+	x := tensor.FromSlice(in, 1, len(in))
+	return a.value.Forward(x, false).At(0, 0)
+}
+
+// targetQ computes r-independent bootstrap targets y = r + γ·Q′(s′, π′(s′))
+// for a batch (Algorithm 1 line 5).
+func (a *Agent) targetQ(batch []replay.Experience) []float64 {
+	n := len(batch)
+	sd := a.cfg.StateDim()
+	s2 := tensor.New(n, sd)
+	for i, e := range batch {
+		copy(s2.Row(i), e.S2)
+	}
+	raw := a.policyT.Forward(s2, false)
+	act, _ := a.actionTransform(raw)
+	qin := tensor.New(n, sd+a.cfg.ActionDim())
+	for i := 0; i < n; i++ {
+		copy(qin.Row(i)[:sd], s2.Row(i))
+		copy(qin.Row(i)[sd:], act.Row(i))
+	}
+	q := a.valueT.Forward(qin, false)
+	out := make([]float64, n)
+	for i, e := range batch {
+		out[i] = e.R
+		if !e.Done {
+			out[i] += a.cfg.Gamma * q.At(i, 0)
+		}
+	}
+	return out
+}
+
+// Train performs Algorithm 1: reprioritize the buffer by TD error, then
+// UpdatesPerRound iterations of value descent, policy ascent and soft
+// target updates. It is a no-op until ReadyToTrain.
+func (a *Agent) Train() {
+	if !a.ReadyToTrain() {
+		return
+	}
+	// Lines 1–2: TD-error priorities under the current networks.
+	a.Buffer.Reprioritize(func(e replay.Experience) float64 {
+		target := e.R
+		if !e.Done {
+			target += a.cfg.Gamma * a.QValue(e.S2, e.A)
+		}
+		return target - a.QValue(e.S, e.A)
+	})
+	sd, ad := a.cfg.StateDim(), a.cfg.ActionDim()
+	mse := nn.NewMSE()
+	for step := 0; step < a.cfg.UpdatesPerRound; step++ {
+		n := a.cfg.BatchSize
+		if bl := a.Buffer.Len(); n > bl {
+			n = bl
+		}
+		batch := a.Buffer.Sample(n)
+		targets := a.targetQ(batch)
+
+		// Line 6: value descent on (Q(s,a) − y)².
+		qin := tensor.New(n, sd+ad)
+		for i, e := range batch {
+			copy(qin.Row(i)[:sd], e.S)
+			copy(qin.Row(i)[sd:], e.A)
+		}
+		pred := a.value.Forward(qin, true)
+		mse.Forward(pred, targets)
+		a.value.ZeroGrads()
+		a.value.Backward(mse.Backward())
+		a.vopt.Step(a.value)
+		a.value.ZeroGrads()
+
+		// Line 7: policy ascent on mean Q(s, π(s)).
+		s := tensor.New(n, sd)
+		for i, e := range batch {
+			copy(s.Row(i), e.S)
+		}
+		raw := a.policy.Forward(s, true)
+		act, clamped := a.actionTransform(raw)
+		pin := tensor.New(n, sd+ad)
+		for i := 0; i < n; i++ {
+			copy(pin.Row(i)[:sd], s.Row(i))
+			copy(pin.Row(i)[sd:], act.Row(i))
+		}
+		a.value.Forward(pin, true)
+		// dMeanQ/dQ_i = 1/n; ascend → feed −1/n and let Adam minimize.
+		up := tensor.New(n, 1)
+		for i := range up.Data {
+			up.Data[i] = -1.0 / float64(n)
+		}
+		a.value.ZeroGrads()
+		dIn := a.value.Backward(up)
+		dAct := tensor.New(n, ad)
+		for i := 0; i < n; i++ {
+			copy(dAct.Row(i), dIn.Row(i)[sd:])
+		}
+		dRaw := a.actionBackward(raw, dAct, clamped)
+		a.policy.ZeroGrads()
+		a.policy.Backward(dRaw)
+		a.popt.Step(a.policy)
+		a.policy.ZeroGrads()
+		a.value.ZeroGrads() // discard critic grads from the policy pass
+
+		// Lines 8–9: ρ-soft target updates.
+		a.policyT.SoftUpdateFrom(a.policy, a.cfg.Rho)
+		a.valueT.SoftUpdateFrom(a.value, a.cfg.Rho)
+	}
+}
+
+// PolicyParams exposes the flat policy parameters (used by tests and by
+// the two-stage trainer's diagnostics).
+func (a *Agent) PolicyParams() []float64 { return a.policy.ParamVector() }
+
+// CopyPolicyFrom copies another agent's policy and value networks into
+// this agent (mains and targets). Configurations must agree on K and
+// Hidden.
+func (a *Agent) CopyPolicyFrom(src *Agent) {
+	a.policy.CopyFrom(src.policy)
+	a.policyT.CopyFrom(src.policyT)
+	a.value.CopyFrom(src.value)
+	a.valueT.CopyFrom(src.valueT)
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+
+	"feddrl/internal/serialize"
+)
+
+// Checkpoint serializes the agent's four networks (main and target,
+// policy and value) plus the identifying configuration into a
+// serialize.Checkpoint. The experience buffer is not persisted: a
+// restored agent resumes with fresh experience, which is the correct
+// semantic for deploying a trained policy (the two-stage trainer's main
+// agent) onto a new federation.
+func (a *Agent) Checkpoint() *serialize.Checkpoint {
+	c := serialize.NewCheckpoint()
+	c.Meta["kind"] = "feddrl-agent"
+	c.Meta["k"] = strconv.Itoa(a.cfg.K)
+	c.Meta["hidden"] = strconv.Itoa(a.cfg.Hidden)
+	a.policy.SaveInto(c, "policy")
+	a.policyT.SaveInto(c, "policyT")
+	a.value.SaveInto(c, "value")
+	a.valueT.SaveInto(c, "valueT")
+	return c
+}
+
+// RestoreAgent rebuilds an agent from a checkpoint produced by
+// Agent.Checkpoint. The supplied configuration must agree with the
+// checkpoint's K and Hidden (the architecture keys); all other
+// hyperparameters may differ (e.g. new exploration settings for a new
+// deployment).
+func RestoreAgent(cfg Config, c *serialize.Checkpoint) (*Agent, error) {
+	if c.Meta["kind"] != "feddrl-agent" {
+		return nil, fmt.Errorf("core: checkpoint kind %q is not a feddrl-agent", c.Meta["kind"])
+	}
+	if k, _ := strconv.Atoi(c.Meta["k"]); k != cfg.K {
+		return nil, fmt.Errorf("core: checkpoint K=%s does not match config K=%d", c.Meta["k"], cfg.K)
+	}
+	if h, _ := strconv.Atoi(c.Meta["hidden"]); h != cfg.Hidden {
+		return nil, fmt.Errorf("core: checkpoint hidden=%s does not match config hidden=%d", c.Meta["hidden"], cfg.Hidden)
+	}
+	a := NewAgent(cfg)
+	if err := a.policy.LoadFrom(c, "policy"); err != nil {
+		return nil, err
+	}
+	if err := a.policyT.LoadFrom(c, "policyT"); err != nil {
+		return nil, err
+	}
+	if err := a.value.LoadFrom(c, "value"); err != nil {
+		return nil, err
+	}
+	if err := a.valueT.LoadFrom(c, "valueT"); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// SaveFile writes the agent checkpoint to a file.
+func (a *Agent) SaveFile(path string) error { return a.Checkpoint().SaveFile(path) }
+
+// LoadAgentFile restores an agent from a checkpoint file.
+func LoadAgentFile(cfg Config, path string) (*Agent, error) {
+	c, err := serialize.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return RestoreAgent(cfg, c)
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestImpactFactorsWithPriorZeroActionIsPrior(t *testing.T) {
+	a := NewAgent(smallConfig(4))
+	prior := []float64{0.1, 0.2, 0.3, 0.4}
+	act := make([]float64, 8) // zero means, zero sigmas
+	got := a.ImpactFactorsWithPrior(act, prior, false)
+	for i := range prior {
+		if math.Abs(got[i]-prior[i]) > 1e-9 {
+			t.Fatalf("zero action should reproduce the prior: %v vs %v", got, prior)
+		}
+	}
+}
+
+func TestImpactFactorsWithPriorShiftsMass(t *testing.T) {
+	a := NewAgent(smallConfig(3))
+	prior := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	act := make([]float64, 6)
+	act[1] = 2 // boost client 1
+	got := a.ImpactFactorsWithPrior(act, prior, false)
+	if got[1] <= got[0] || got[1] <= got[2] {
+		t.Fatalf("positive deviation did not raise weight: %v", got)
+	}
+}
+
+func TestImpactFactorsWithPriorConvexProperty(t *testing.T) {
+	cfg := smallConfig(5)
+	a := NewAgent(cfg)
+	f := func(raw []float64, explore bool) bool {
+		act := make([]float64, cfg.ActionDim())
+		prior := make([]float64, cfg.K)
+		sum := 0.0
+		for i := 0; i < cfg.K; i++ {
+			if i < len(raw) {
+				v := math.Mod(math.Abs(raw[i]), 5)
+				if math.IsNaN(v) {
+					v = 0
+				}
+				prior[i] = v
+			}
+			prior[i] += 0.01
+			sum += prior[i]
+			if i < len(raw) {
+				act[i] = math.Mod(raw[i], 10)
+				if math.IsNaN(act[i]) {
+					act[i] = 0
+				}
+			}
+			act[cfg.K+i] = 0.05
+		}
+		for i := range prior {
+			prior[i] /= sum
+		}
+		alpha := a.ImpactFactorsWithPrior(act, prior, explore)
+		total := 0.0
+		for _, v := range alpha {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			total += v
+		}
+		return math.Abs(total-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImpactFactorsWithPriorHandlesZeroPrior(t *testing.T) {
+	a := NewAgent(smallConfig(3))
+	prior := []float64{0, 0.5, 0.5} // a starved client
+	act := make([]float64, 6)
+	got := a.ImpactFactorsWithPrior(act, prior, false)
+	for _, v := range got {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("zero prior produced non-finite weights: %v", got)
+		}
+	}
+	if got[0] > 1e-6 {
+		t.Fatalf("zero-prior client got weight %v", got[0])
+	}
+}
+
+func TestImpactFactorsWithPriorPanics(t *testing.T) {
+	a := NewAgent(smallConfig(3))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	a.ImpactFactorsWithPrior(make([]float64, 6), []float64{0.5, 0.5}, false)
+}
+
+func TestExploreDecayReducesNoise(t *testing.T) {
+	cfg := smallConfig(2)
+	cfg.ExploreStd = 1.0
+	cfg.ExploreDecay = 0.5
+	a := NewAgent(cfg)
+	state := make([]float64, cfg.StateDim())
+	base := a.Act(state, false) // deterministic reference
+	// Average |noise| over several actions early vs late.
+	dev := func(n int) float64 {
+		total := 0.0
+		for i := 0; i < n; i++ {
+			act := a.Act(state, true)
+			for j := range base {
+				total += math.Abs(act[j] - base[j])
+			}
+		}
+		return total / float64(n)
+	}
+	early := dev(5)
+	// After 5 actions the scale has decayed by 0.5^5 = 1/32.
+	late := dev(5)
+	if late >= early {
+		t.Fatalf("exploration did not decay: early %v late %v", early, late)
+	}
+}

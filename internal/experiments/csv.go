@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"feddrl/internal/metrics"
+)
+
+// CSV export: the figure runners print text tables; these helpers emit
+// the same series as CSV files for external plotting (one file per
+// figure panel). Used by cmd/tables -csvdir.
+
+// Figure5Series returns one SeriesSet per (dataset, partition) panel of
+// Figure 5, keyed "figure5-<dataset>-<partition>".
+func Figure5Series(s Scale, seed uint64) map[string]*metrics.SeriesSet {
+	cache := newCache(s, seed)
+	out := map[string]*metrics.SeriesSet{}
+	for _, spec := range s.datasets() {
+		if spec.Name == "mnist-sim" {
+			continue
+		}
+		for _, part := range PartitionNames {
+			ref := cache.get(spec, part, "FedAvg", s.SmallN, s.K, defaultDelta)
+			x := make([]float64, len(ref.AccRounds))
+			for i, r := range ref.AccRounds {
+				x[i] = float64(r)
+			}
+			ss := metrics.NewSeriesSet("round", x)
+			for _, m := range fedMethods {
+				r := cache.get(spec, part, m, s.SmallN, s.K, defaultDelta)
+				ss.Add(m, r.Accuracy)
+			}
+			out[fmt.Sprintf("figure5-%s-%s", spec.Name, part)] = ss
+		}
+	}
+	return out
+}
+
+// Figure7Series returns the participation-sweep series (x = K).
+func Figure7Series(s Scale, seed uint64) *metrics.SeriesSet {
+	spec := s.datasets()[0]
+	x := make([]float64, len(s.KSweep))
+	cols := map[string]metrics.Series{}
+	for i, k := range s.KSweep {
+		x[i] = float64(k)
+		for _, m := range fedMethods {
+			r := runMethod(s, spec, "CE", m, s.LargeN, k, defaultDelta, seed+uint64(k))
+			cols[m] = append(cols[m], r.Best())
+		}
+	}
+	ss := metrics.NewSeriesSet("K", x)
+	for _, m := range fedMethods {
+		ss.Add(m, cols[m])
+	}
+	return ss
+}
+
+// Figure8Series returns the non-IID-level-sweep series (x = delta).
+func Figure8Series(s Scale, seed uint64) *metrics.SeriesSet {
+	spec := s.datasets()[1]
+	x := make([]float64, len(s.Deltas))
+	cols := map[string]metrics.Series{}
+	for i, delta := range s.Deltas {
+		x[i] = delta
+		for _, m := range fedMethods {
+			r := runMethod(s, spec, "CE", m, s.LargeN, s.K, delta, seed+uint64(delta*100))
+			cols[m] = append(cols[m], r.Best())
+		}
+	}
+	ss := metrics.NewSeriesSet("delta", x)
+	for _, m := range fedMethods {
+		ss.Add(m, cols[m])
+	}
+	return ss
+}
+
+// ExportCSV writes the figure series of the given experiment id into
+// dir, returning the written file paths. Supported ids: figure5,
+// figure7, figure8.
+func ExportCSV(id string, s Scale, seed uint64, dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: csv dir: %w", err)
+	}
+	sets := map[string]*metrics.SeriesSet{}
+	switch id {
+	case "figure5":
+		sets = Figure5Series(s, seed)
+	case "figure7":
+		sets["figure7"] = Figure7Series(s, seed)
+	case "figure8":
+		sets["figure8"] = Figure8Series(s, seed)
+	default:
+		return nil, fmt.Errorf("experiments: no CSV export for %q (supported: figure5, figure7, figure8)", id)
+	}
+	var paths []string
+	for name, ss := range sets {
+		p := filepath.Join(dir, name+".csv")
+		if err := ss.SaveCSV(p); err != nil {
+			return nil, err
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}

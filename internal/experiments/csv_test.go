@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFigure7And8Series(t *testing.T) {
+	s := microScale()
+	ss7 := Figure7Series(s, 31)
+	if ss7.XName != "K" || len(ss7.X) != len(s.KSweep) {
+		t.Fatalf("figure7 x axis wrong: %+v", ss7)
+	}
+	for _, m := range fedMethods {
+		if len(ss7.Data[m]) != len(s.KSweep) {
+			t.Fatalf("figure7 series %s wrong length", m)
+		}
+	}
+	ss8 := Figure8Series(s, 33)
+	if ss8.XName != "delta" || len(ss8.X) != len(s.Deltas) {
+		t.Fatalf("figure8 x axis wrong: %+v", ss8)
+	}
+}
+
+func TestFigure5Series(t *testing.T) {
+	s := microScale()
+	sets := Figure5Series(s, 35)
+	// 2 datasets (cifar, fashion) × 3 partitions.
+	if len(sets) != 6 {
+		t.Fatalf("figure5 panels = %d, want 6", len(sets))
+	}
+	for name, ss := range sets {
+		if !strings.HasPrefix(name, "figure5-") {
+			t.Fatalf("panel name %q", name)
+		}
+		if len(ss.Names) != 3 {
+			t.Fatalf("panel %s has %d series", name, len(ss.Names))
+		}
+	}
+}
+
+func TestExportCSV(t *testing.T) {
+	s := microScale()
+	dir := t.TempDir()
+	paths, err := ExportCSV("figure7", s, 37, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("paths = %v", paths)
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "K,FedAvg,FedProx,FedDRL\n") {
+		t.Fatalf("csv header wrong:\n%s", data)
+	}
+	if _, err := ExportCSV("table3", s, 37, dir); err == nil {
+		t.Fatal("unsupported id did not error")
+	}
+	if _, err := ExportCSV("figure8", s, 37, filepath.Join(dir, "sub")); err != nil {
+		t.Fatalf("nested dir export failed: %v", err)
+	}
+}

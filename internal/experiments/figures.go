@@ -1,0 +1,207 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"feddrl/internal/dataset"
+	"feddrl/internal/fl"
+	"feddrl/internal/metrics"
+)
+
+// fedMethods are the three federated methods (SingleSet excluded).
+var fedMethods = []string{"FedAvg", "FedProx", "FedDRL"}
+
+// Figure5 reproduces the accuracy-vs-round timelines: for each dataset ×
+// partition (SmallN clients), the test accuracy of each method per
+// evaluated round. The fashion-sim series are 10-round smoothed, as in
+// the paper's plot.
+func Figure5(s Scale, seed uint64) string {
+	cache := newCache(s, seed)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: top-1 test accuracy (%%) vs communication round, %d clients\n\n", s.SmallN)
+	for _, spec := range s.datasets() {
+		if spec.Name == "mnist-sim" {
+			continue // the paper omits MNIST from Fig. 5 for space
+		}
+		for _, part := range PartitionNames {
+			tab := &metrics.Table{
+				Title:   fmt.Sprintf("%s / %s", spec.Name, part),
+				Headers: []string{"round", "FedAvg", "FedProx", "FedDRL"},
+			}
+			results := map[string]*fl.Result{}
+			for _, m := range fedMethods {
+				results[m] = cache.get(spec, part, m, s.SmallN, s.K, defaultDelta)
+			}
+			series := map[string]metrics.Series{}
+			for m, r := range results {
+				acc := r.Accuracy
+				if strings.HasPrefix(spec.Name, "fashion") {
+					acc = acc.Smoothed(10)
+				}
+				series[m] = acc
+			}
+			ref := results["FedAvg"]
+			for i, round := range ref.AccRounds {
+				tab.AddRow(fmt.Sprintf("%d", round),
+					metrics.F(series["FedAvg"][i]),
+					metrics.F(series["FedProx"][i]),
+					metrics.F(series["FedDRL"][i]))
+			}
+			b.WriteString(tab.RenderString())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// Figure6 reproduces the robustness study: the mean and variance of the
+// per-client inference loss (tail-averaged), normalized to FedDRL, on the
+// 100-class dataset with SmallN clients. Values above 1.00 mean the
+// baseline is worse than FedDRL.
+func Figure6(s Scale, seed uint64) string {
+	cache := newCache(s, seed)
+	spec := s.datasets()[0] // cifar100-sim
+	tail := s.Rounds / 4
+	if tail < 1 {
+		tail = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: client inference loss normalized to FedDRL (tail %d rounds), %s, %d clients\n\n",
+		tail, spec.Name, s.SmallN)
+	tabMean := &metrics.Table{
+		Title:   "average inference loss (normalized; >1 = worse than FedDRL)",
+		Headers: append([]string{"method"}, PartitionNames...),
+	}
+	tabVar := &metrics.Table{
+		Title:   "variance of inference loss (normalized; >1 = worse than FedDRL)",
+		Headers: append([]string{"method"}, PartitionNames...),
+	}
+	means := map[string]map[string]float64{}
+	vars := map[string]map[string]float64{}
+	for _, part := range PartitionNames {
+		means[part] = map[string]float64{}
+		vars[part] = map[string]float64{}
+		for _, m := range fedMethods {
+			r := cache.get(spec, part, m, s.SmallN, s.K, defaultDelta)
+			means[part][m] = r.ClientLossMeans().Tail(tail)
+			vars[part][m] = r.ClientLossVars().Tail(tail)
+		}
+	}
+	for _, m := range fedMethods {
+		rowM := []string{m}
+		rowV := []string{m}
+		for _, part := range PartitionNames {
+			refM, refV := means[part]["FedDRL"], vars[part]["FedDRL"]
+			rowM = append(rowM, ratioStr(means[part][m], refM))
+			rowV = append(rowV, ratioStr(vars[part][m], refV))
+		}
+		tabMean.AddRow(rowM...)
+		tabVar.AddRow(rowV...)
+	}
+	b.WriteString(tabMean.RenderString())
+	b.WriteByte('\n')
+	b.WriteString(tabVar.RenderString())
+	return b.String()
+}
+
+func ratioStr(v, ref float64) string {
+	if ref == 0 {
+		if v == 0 {
+			return "1.00"
+		}
+		return "inf"
+	}
+	return metrics.F(v / ref)
+}
+
+// Figure7 reproduces the participation sweep: accuracy on the 100-class
+// dataset (LargeN clients, CE partition) as the number of participating
+// clients K varies.
+func Figure7(s Scale, seed uint64) string {
+	spec := s.datasets()[0] // cifar100-sim
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: accuracy vs participating clients K (%s, CE, N=%d)\n\n", spec.Name, s.LargeN)
+	tab := &metrics.Table{
+		Headers: append([]string{"K"}, fedMethods...),
+	}
+	for _, k := range s.KSweep {
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, m := range fedMethods {
+			r := runMethod(s, spec, "CE", m, s.LargeN, k, defaultDelta, seed+uint64(k))
+			row = append(row, metrics.F(r.Best()))
+		}
+		tab.AddRow(row...)
+	}
+	b.WriteString(tab.RenderString())
+	return b.String()
+}
+
+// Figure8 reproduces the non-IID-level sweep: accuracy on fashion-sim
+// (LargeN clients, CE partition) as the main-group share δ varies.
+func Figure8(s Scale, seed uint64) string {
+	spec := s.datasets()[1] // fashion-sim
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: accuracy vs non-IID level delta (%s, CE, N=%d)\n\n", spec.Name, s.LargeN)
+	tab := &metrics.Table{
+		Headers: append([]string{"delta"}, fedMethods...),
+	}
+	for _, delta := range s.Deltas {
+		row := []string{fmt.Sprintf("%.1f", delta)}
+		for _, m := range fedMethods {
+			r := runMethod(s, spec, "CE", m, s.LargeN, s.K, delta, seed+uint64(delta*100))
+			row = append(row, metrics.F(r.Best()))
+		}
+		tab.AddRow(row...)
+	}
+	b.WriteString(tab.RenderString())
+	return b.String()
+}
+
+// Figure10 reproduces the convergence study: communication rounds needed
+// by each method to reach the target accuracy (the minimum best accuracy
+// across methods, as in §5.2), per dataset × partition at SmallN clients.
+func Figure10(s Scale, seed uint64) string {
+	cache := newCache(s, seed)
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 10: rounds to reach target accuracy (target = min of methods' best), %d clients\n\n", s.SmallN)
+	tab := &metrics.Table{
+		Headers: []string{"dataset", "partition", "target", "FedAvg", "FedProx", "FedDRL"},
+	}
+	for _, spec := range s.datasets() {
+		for _, part := range PartitionNames {
+			results := map[string]*fl.Result{}
+			target := -1.0
+			for _, m := range fedMethods {
+				r := cache.get(spec, part, m, s.SmallN, s.K, defaultDelta)
+				results[m] = r
+				if target < 0 || r.Best() < target {
+					target = r.Best()
+				}
+			}
+			row := []string{spec.Name, part, metrics.F(target)}
+			for _, m := range fedMethods {
+				// Translate eval index to communication round.
+				idx := results[m].Accuracy.RoundsToTarget(target)
+				if idx < 0 {
+					row = append(row, "n/a")
+				} else {
+					row = append(row, fmt.Sprintf("%d", results[m].AccRounds[idx-1]+1))
+				}
+			}
+			tab.AddRow(row...)
+		}
+	}
+	b.WriteString(tab.RenderString())
+	return b.String()
+}
+
+// dsByName finds a scaled dataset spec by prefix (helper for tools).
+func dsByName(s Scale, name string) (dataset.Spec, error) {
+	for _, spec := range s.datasets() {
+		if strings.HasPrefix(spec.Name, name) {
+			return spec, nil
+		}
+	}
+	return dataset.Spec{}, fmt.Errorf("experiments: unknown dataset %q", name)
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"feddrl/internal/mathx"
+	"feddrl/internal/metrics"
+)
+
+// Headline tests the paper's core claim with seed averaging: under
+// cluster skew (CE, CN) FedDRL's learned aggregation should match or
+// beat FedAvg, with the gap widening at higher client counts (§4.2.1's
+// reading of Table 3). Single-seed cells at reduced scale carry ±
+// several points of noise; this runner repeats each cell over `seeds`
+// runs and reports mean ± std, which is what EXPERIMENTS.md quotes.
+func Headline(s Scale, seed uint64) string {
+	const seeds = 3
+	var b strings.Builder
+	fmt.Fprintf(&b, "Headline claim (Table 3's CE/CN columns, mean of %d seeds): FedDRL vs FedAvg under cluster skew\n\n", seeds)
+	tab := &metrics.Table{
+		Headers: []string{"dataset", "N", "partition", "FedAvg", "FedDRL", "delta"},
+	}
+	for _, spec := range s.datasets() {
+		for _, n := range []int{s.SmallN, s.LargeN} {
+			for _, part := range []string{"CE", "CN"} {
+				var avg, drl []float64
+				for r := 0; r < seeds; r++ {
+					cellSeed := seed + uint64(r)*1009
+					avg = append(avg, runMethod(s, spec, part, "FedAvg", n, s.K, defaultDelta, cellSeed).Best())
+					drl = append(drl, runMethod(s, spec, part, "FedDRL", n, s.K, defaultDelta, cellSeed).Best())
+				}
+				ma, md := mathx.Mean(avg), mathx.Mean(drl)
+				tab.AddRow(spec.Name, fmt.Sprintf("%d", n), part,
+					fmt.Sprintf("%.2f±%.2f", ma, mathx.Std(avg)),
+					fmt.Sprintf("%.2f±%.2f", md, mathx.Std(drl)),
+					fmt.Sprintf("%+.2f", md-ma))
+			}
+		}
+	}
+	b.WriteString(tab.RenderString())
+	b.WriteString("\n(positive delta = FedDRL better; the paper's shape is parity-to-positive\non CE/CN, with larger deltas at the larger client count)\n")
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment at a scale and returns its rendered
+// text output.
+type Runner func(s Scale, seed uint64) string
+
+// Registry maps experiment ids (the paper's table/figure numbers plus
+// the DESIGN.md ablations) to their runners.
+var Registry = map[string]Runner{
+	"table2":             Table2,
+	"figure4":            Figure4,
+	"table3":             Table3,
+	"figure5":            Figure5,
+	"figure6":            Figure6,
+	"figure7":            Figure7,
+	"figure8":            Figure8,
+	"figure9":            Figure9,
+	"figure10":           Figure10,
+	"table4":             Table4,
+	"ablation-reward":    AblationRewardGap,
+	"ablation-statenorm": AblationStateNorm,
+	"ablation-twostage":  AblationTwoStage,
+	"ablation-prior":     AblationPrior,
+	"comm-overhead":      CommOverhead,
+	"headline":           Headline,
+}
+
+// Names returns the registered experiment ids in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(Registry))
+	for n := range Registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Run executes a registered experiment by id.
+func Run(name string, s Scale, seed uint64) (string, error) {
+	r, ok := Registry[name]
+	if !ok {
+		return "", fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
+	}
+	return r(s, seed), nil
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"feddrl/internal/metrics"
+)
+
+// Table3Cell is one (dataset, partition, N) column of Table 3.
+type Table3Cell struct {
+	Dataset   string
+	Partition string
+	N         int
+	Best      map[string]float64 // method → best top-1 accuracy (%)
+}
+
+// ImprA returns FedDRL's relative improvement over the best baseline
+// (impr.(a) of Table 3).
+func (c Table3Cell) ImprA() float64 {
+	best := c.baseline(true)
+	return metrics.RelImprovement(c.Best["FedDRL"], best)
+}
+
+// ImprB returns FedDRL's relative improvement over the worst baseline
+// (impr.(b)).
+func (c Table3Cell) ImprB() float64 {
+	worst := c.baseline(false)
+	return metrics.RelImprovement(c.Best["FedDRL"], worst)
+}
+
+func (c Table3Cell) baseline(best bool) float64 {
+	fa, fp := c.Best["FedAvg"], c.Best["FedProx"]
+	if best == (fa > fp) {
+		return fa
+	}
+	return fp
+}
+
+// Table3Result holds every cell, in dataset-major order.
+type Table3Result struct {
+	Scale string
+	Cells []Table3Cell
+}
+
+// RunTable3 executes the full Table 3 grid: three datasets × {PA, CE, CN}
+// × {SmallN, LargeN} clients × four methods.
+func RunTable3(s Scale, seed uint64) *Table3Result {
+	cache := newCache(s, seed)
+	res := &Table3Result{Scale: s.Name}
+	for _, spec := range s.datasets() {
+		for _, n := range []int{s.SmallN, s.LargeN} {
+			for _, part := range PartitionNames {
+				cell := Table3Cell{Dataset: spec.Name, Partition: part, N: n, Best: map[string]float64{}}
+				for _, m := range Methods {
+					r := cache.get(spec, part, m, n, s.K, defaultDelta)
+					cell.Best[m] = r.Best()
+				}
+				res.Cells = append(res.Cells, cell)
+			}
+		}
+	}
+	return res
+}
+
+// Render prints the Table 3 layout: one block per (dataset, N), rows =
+// methods plus impr.(a)/impr.(b).
+func (t *Table3Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: best top-1 test accuracy (%%), scale=%s\n\n", t.Scale)
+	// Group cells by (dataset, n).
+	type groupKey struct {
+		ds string
+		n  int
+	}
+	order := []groupKey{}
+	groups := map[groupKey][]Table3Cell{}
+	for _, c := range t.Cells {
+		k := groupKey{c.Dataset, c.N}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+	for _, k := range order {
+		cells := groups[k]
+		tab := &metrics.Table{
+			Title:   fmt.Sprintf("%s, %d clients", k.ds, k.n),
+			Headers: append([]string{"method"}, PartitionNames...),
+		}
+		for _, m := range Methods {
+			row := []string{m}
+			for _, part := range PartitionNames {
+				row = append(row, metrics.F(findCell(cells, part).Best[m]))
+			}
+			tab.AddRow(row...)
+		}
+		ra := []string{"impr.(a)"}
+		rb := []string{"impr.(b)"}
+		for _, part := range PartitionNames {
+			c := findCell(cells, part)
+			ra = append(ra, metrics.Pct(c.ImprA()))
+			rb = append(rb, metrics.Pct(c.ImprB()))
+		}
+		tab.AddRow(ra...)
+		tab.AddRow(rb...)
+		b.WriteString(tab.RenderString())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func findCell(cells []Table3Cell, part string) Table3Cell {
+	for _, c := range cells {
+		if c.Partition == part {
+			return c
+		}
+	}
+	panic(fmt.Sprintf("experiments: missing Table 3 cell for partition %q", part))
+}
+
+// Table3 is the Registry entry point.
+func Table3(s Scale, seed uint64) string { return RunTable3(s, seed).Render() }

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"feddrl/internal/metrics"
+)
+
+// Table4 reproduces the label-size-imbalance study of §5.1: top-1
+// accuracy on the 100-class dataset under the FedAvg-style Equal and
+// Non-equal shard partitions, for SmallN and LargeN clients.
+func Table4(s Scale, seed uint64) string {
+	spec := s.datasets()[0] // cifar100-sim
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 4: top-1 accuracy (%%) with label-size-imbalance shards, %s\n\n", spec.Name)
+	for _, n := range []int{s.SmallN, s.LargeN} {
+		tab := &metrics.Table{
+			Title:   fmt.Sprintf("%d clients", n),
+			Headers: []string{"method", "Equal", "Non-equal"},
+		}
+		vals := map[string]map[string]float64{}
+		for _, part := range []string{"Equal", "Non-equal"} {
+			vals[part] = map[string]float64{}
+			for _, m := range Methods {
+				r := runMethod(s, spec, part, m, n, s.K, defaultDelta, seed+uint64(n))
+				vals[part][m] = r.Best()
+			}
+		}
+		for _, m := range Methods {
+			tab.AddRow(m, metrics.F(vals["Equal"][m]), metrics.F(vals["Non-equal"][m]))
+		}
+		b.WriteString(tab.RenderString())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

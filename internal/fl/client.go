@@ -1,0 +1,152 @@
+// Package fl implements the synchronous federated-learning simulator of
+// the paper (§2.1, §3.2, Algorithm 2): clients performing local SGD on
+// their private shards, a server aggregating flat weight vectors through
+// a pluggable Aggregator (FedAvg's Eq. 1, FedProx, or FedDRL's Eq. 4),
+// the SingleSet centralized baseline, and per-round metrics (top-1 test
+// accuracy, per-client inference-loss statistics, and the server-side
+// timing split of Fig. 9).
+package fl
+
+import (
+	"fmt"
+
+	"feddrl/internal/dataset"
+	"feddrl/internal/nn"
+	"feddrl/internal/rng"
+	"feddrl/internal/tensor"
+)
+
+// LocalConfig is the client-side solver configuration. The paper uses
+// SGD with E = 5 local epochs, batch size b = 10 and learning rate 0.01
+// for every experiment (§4.1.2); FedProx clients add ProxMu = 0.01.
+type LocalConfig struct {
+	Epochs int
+	Batch  int
+	LR     float64
+	// ProxMu enables the FedProx proximal term μ/2·‖w − w_global‖².
+	ProxMu float64
+}
+
+// Validate panics on an inconsistent local configuration.
+func (lc LocalConfig) Validate() {
+	if lc.Epochs <= 0 || lc.Batch <= 0 || lc.LR <= 0 || lc.ProxMu < 0 {
+		panic(fmt.Sprintf("fl: invalid local config %+v", lc))
+	}
+}
+
+// Update is the tuple p_k^t a client uploads after local training
+// (Algorithm 2 line 11): the global-model inference loss l_b, the local
+// model's post-training loss l_a, the sample count n_k and the trained
+// weights w_k^t.
+type Update struct {
+	ClientID   int
+	N          int
+	LossBefore float64
+	LossAfter  float64
+	Weights    []float64
+}
+
+// Client owns a private shard and a reusable model instance. Clients are
+// deterministic: all randomness flows from the seed given at
+// construction, so parallel and sequential execution produce identical
+// results.
+type Client struct {
+	ID   int
+	Data *dataset.Dataset
+
+	model *nn.Network
+	r     *rng.RNG
+}
+
+// NewClient builds a client over its shard. factory instantiates the
+// globally agreed model architecture.
+func NewClient(id int, data *dataset.Dataset, factory nn.Factory, seed uint64) *Client {
+	if data == nil {
+		panic("fl: NewClient with nil data")
+	}
+	return &Client{
+		ID:    id,
+		Data:  data,
+		model: factory(seed),
+		r:     rng.New(seed ^ 0x5bd1e995),
+	}
+}
+
+// evalChunk bounds the batch size of full-dataset evaluation passes.
+const evalChunk = 128
+
+// EvalLoss returns the mean cross-entropy of the model on d (the
+// inference pass of Algorithm 2 lines 7 and 10). It returns 0 for an
+// empty dataset.
+func EvalLoss(m *nn.Network, d *dataset.Dataset) float64 {
+	loss, _ := EvalLossAcc(m, d)
+	return loss
+}
+
+// EvalLossAcc returns mean loss and top-1 accuracy of the model on d.
+func EvalLossAcc(m *nn.Network, d *dataset.Dataset) (loss, acc float64) {
+	if d.N == 0 {
+		return 0, 0
+	}
+	ce := nn.NewCrossEntropy()
+	totalLoss, correct := 0.0, 0.0
+	for start := 0; start < d.N; start += evalChunk {
+		end := start + evalChunk
+		if end > d.N {
+			end = d.N
+		}
+		n := end - start
+		x := tensor.FromSlice(d.X[start*d.Dim:end*d.Dim], n, d.Dim)
+		l, a := ce.Eval(m.Forward(x, false), d.Y[start:end])
+		totalLoss += l * float64(n)
+		correct += a * float64(n)
+	}
+	return totalLoss / float64(d.N), correct / float64(d.N)
+}
+
+// Run performs one communication round on the client (Algorithm 2 lines
+// 6–11): load the global weights, measure the inference loss, train for
+// E local epochs of minibatch SGD (optionally with the FedProx term), and
+// return the update tuple.
+func (c *Client) Run(global []float64, lc LocalConfig) Update {
+	lc.Validate()
+	c.model.SetParamVector(global)
+	u := Update{ClientID: c.ID, N: c.Data.N}
+	if c.Data.N == 0 {
+		// Degenerate shard: return the global weights unchanged so the
+		// aggregation stays well-defined.
+		u.Weights = append([]float64(nil), global...)
+		return u
+	}
+	u.LossBefore = EvalLoss(c.model, c.Data)
+
+	opt := nn.NewSGD(lc.LR)
+	if lc.ProxMu > 0 {
+		opt.ProxMu = lc.ProxMu
+		opt.ProxRef = global
+	}
+	ce := nn.NewCrossEntropy()
+	batch := lc.Batch
+	if batch > c.Data.N {
+		batch = c.Data.N
+	}
+	xb := tensor.New(batch, c.Data.Dim)
+	yb := make([]int, batch)
+	for e := 0; e < lc.Epochs; e++ {
+		perm := c.r.Perm(c.Data.N)
+		for start := 0; start+batch <= c.Data.N; start += batch {
+			for bi := 0; bi < batch; bi++ {
+				idx := perm[start+bi]
+				copy(xb.Row(bi), c.Data.Sample(idx))
+				yb[bi] = c.Data.Y[idx]
+			}
+			ce.Forward(c.model.Forward(xb, true), yb)
+			c.model.ZeroGrads()
+			c.model.Backward(ce.Backward())
+			opt.Step(c.model)
+		}
+	}
+	u.LossAfter = EvalLoss(c.model, c.Data)
+	u.Weights = c.model.ParamVector()
+	return u
+}

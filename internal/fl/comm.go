@@ -1,0 +1,58 @@
+package fl
+
+import "feddrl/internal/serialize"
+
+// Communication accounting (§5.3): FedDRL's only communication overhead
+// versus FedAvg is "some extra floating point numbers for the inference
+// loss". This file models the synchronous round's payload sizes so the
+// claim can be measured rather than asserted.
+
+// MetadataSizer is an optional Aggregator extension reporting the extra
+// per-client uplink metadata (bytes) the method requires beyond the
+// FedAvg baseline (weights + sample count).
+type MetadataSizer interface {
+	ExtraUplinkBytes() int
+}
+
+// ExtraUplinkBytes reports FedDRL's uplink overhead: the two inference
+// losses l_b and l_a (two float64s) per client per round.
+func (*FedDRL) ExtraUplinkBytes() int { return 16 }
+
+// CommRound models one synchronous round's traffic.
+type CommRound struct {
+	// DownlinkBytes is the server→clients broadcast: K copies of the
+	// global weight vector.
+	DownlinkBytes int
+	// UplinkBytes is the clients→server transfer: K weight vectors plus
+	// per-client metadata (sample count, and any aggregator extras).
+	UplinkBytes int
+	// OverheadBytes is the part of UplinkBytes attributable to the
+	// aggregation method beyond the FedAvg baseline.
+	OverheadBytes int
+}
+
+// CommPerRound computes the round traffic for K participants exchanging
+// weight vectors of the given length under the given aggregator.
+func CommPerRound(agg Aggregator, k, weightLen int) CommRound {
+	wire := serialize.VectorWireSize(weightLen)
+	const countBytes = 8 // n_k as a fixed-width integer
+	extra := 0
+	if ms, ok := agg.(MetadataSizer); ok {
+		extra = ms.ExtraUplinkBytes()
+	}
+	return CommRound{
+		DownlinkBytes: k * wire,
+		UplinkBytes:   k * (wire + countBytes + extra),
+		OverheadBytes: k * extra,
+	}
+}
+
+// OverheadFraction returns the method's uplink overhead relative to the
+// FedAvg baseline for the same round (0 for FedAvg itself).
+func (c CommRound) OverheadFraction() float64 {
+	base := c.UplinkBytes - c.OverheadBytes
+	if base == 0 {
+		return 0
+	}
+	return float64(c.OverheadBytes) / float64(base)
+}

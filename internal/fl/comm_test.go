@@ -1,0 +1,48 @@
+package fl
+
+import (
+	"testing"
+
+	"feddrl/internal/core"
+)
+
+func TestCommPerRoundFedAvg(t *testing.T) {
+	c := CommPerRound(FedAvg{}, 10, 1000)
+	wantDown := 10 * (4 + 8000)
+	if c.DownlinkBytes != wantDown {
+		t.Fatalf("downlink %d, want %d", c.DownlinkBytes, wantDown)
+	}
+	wantUp := 10 * (4 + 8000 + 8)
+	if c.UplinkBytes != wantUp {
+		t.Fatalf("uplink %d, want %d", c.UplinkBytes, wantUp)
+	}
+	if c.OverheadBytes != 0 || c.OverheadFraction() != 0 {
+		t.Fatal("FedAvg should have no method overhead")
+	}
+}
+
+func TestCommPerRoundFedDRL(t *testing.T) {
+	cfg := core.DefaultConfig(10)
+	cfg.Hidden = 8
+	agg := NewFedDRL(core.NewAgent(cfg))
+	c := CommPerRound(agg, 10, 1000)
+	if c.OverheadBytes != 160 { // 2 float64 per client × 10 clients
+		t.Fatalf("overhead %d, want 160", c.OverheadBytes)
+	}
+	// §5.3's claim: the overhead is trivial relative to the weights.
+	if f := c.OverheadFraction(); f > 0.01 {
+		t.Fatalf("overhead fraction %v should be well under 1%%", f)
+	}
+	// And it shrinks as the model grows.
+	big := CommPerRound(agg, 10, 100000)
+	if big.OverheadFraction() >= c.OverheadFraction() {
+		t.Fatal("overhead fraction should shrink with model size")
+	}
+}
+
+func TestOverheadFractionDegenerate(t *testing.T) {
+	c := CommRound{}
+	if c.OverheadFraction() != 0 {
+		t.Fatal("zero round should have zero fraction")
+	}
+}

@@ -1,0 +1,136 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"feddrl/internal/serialize"
+)
+
+// Sparse update compression (§3.5: "our technique is still applicable to
+// other communication techniques such as sparse data compression
+// [4, 18]"). Clients upload only the top-k weight *deltas* against the
+// broadcast global model; the server reconstructs w_k = w_global + Δ_k
+// before aggregation. FedDRL's impact factors are orthogonal to the
+// compression, which is exactly the compatibility the paper claims — and
+// TestFedDRLWithCompression exercises the combination.
+
+// SparseDelta is a compressed client update: the coordinates and values
+// of the largest-magnitude weight changes.
+type SparseDelta struct {
+	Dim     int
+	Indices []int
+	Values  []float64
+}
+
+// CompressTopK keeps the k largest-magnitude entries of (weights −
+// base). k is clamped to the vector length.
+func CompressTopK(weights, base []float64, k int) SparseDelta {
+	if len(weights) != len(base) {
+		panic(fmt.Sprintf("fl: CompressTopK length mismatch %d vs %d", len(weights), len(base)))
+	}
+	if k <= 0 {
+		panic("fl: CompressTopK with non-positive k")
+	}
+	n := len(weights)
+	if k > n {
+		k = n
+	}
+	type iv struct {
+		i int
+		v float64
+	}
+	all := make([]iv, n)
+	for i := range weights {
+		all[i] = iv{i, weights[i] - base[i]}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		da, db := all[a].v, all[b].v
+		if da < 0 {
+			da = -da
+		}
+		if db < 0 {
+			db = -db
+		}
+		return da > db
+	})
+	d := SparseDelta{Dim: n, Indices: make([]int, k), Values: make([]float64, k)}
+	top := all[:k]
+	sort.Slice(top, func(a, b int) bool { return top[a].i < top[b].i })
+	for j, e := range top {
+		d.Indices[j] = e.i
+		d.Values[j] = e.v
+	}
+	return d
+}
+
+// Decompress reconstructs the full weight vector w = base + Δ.
+func (d SparseDelta) Decompress(base []float64) []float64 {
+	if len(base) != d.Dim {
+		panic(fmt.Sprintf("fl: Decompress base length %d, delta dim %d", len(base), d.Dim))
+	}
+	out := append([]float64(nil), base...)
+	for j, i := range d.Indices {
+		if i < 0 || i >= d.Dim {
+			panic(fmt.Sprintf("fl: Decompress index %d out of %d", i, d.Dim))
+		}
+		out[i] += d.Values[j]
+	}
+	return out
+}
+
+// WireSize returns the encoded byte size of the sparse delta (4-byte
+// indices + 8-byte values + header), for comparing against the dense
+// payload of serialize.VectorWireSize.
+func (d SparseDelta) WireSize() int {
+	return 8 + 4*len(d.Indices) + 8*len(d.Values)
+}
+
+// CompressionRatio returns dense/sparse payload size.
+func (d SparseDelta) CompressionRatio() float64 {
+	return float64(serialize.VectorWireSize(d.Dim)) / float64(d.WireSize())
+}
+
+// CompressionError returns the L2 norm of the dropped delta mass — the
+// reconstruction error the top-k truncation introduces.
+func CompressionError(weights, base []float64, d SparseDelta) float64 {
+	rec := d.Decompress(base)
+	sum := 0.0
+	for i := range weights {
+		diff := weights[i] - rec[i]
+		sum += diff * diff
+	}
+	return math.Sqrt(sum)
+}
+
+// CompressUpdates converts a round's dense updates into sparse deltas
+// against the global model, keeping a fraction of coordinates.
+func CompressUpdates(updates []Update, global []float64, keepFrac float64) []SparseDelta {
+	if keepFrac <= 0 || keepFrac > 1 {
+		panic(fmt.Sprintf("fl: keepFrac %v out of (0,1]", keepFrac))
+	}
+	k := int(keepFrac * float64(len(global)))
+	if k < 1 {
+		k = 1
+	}
+	out := make([]SparseDelta, len(updates))
+	for i, u := range updates {
+		out[i] = CompressTopK(u.Weights, global, k)
+	}
+	return out
+}
+
+// DecompressUpdates reconstructs dense updates from sparse deltas,
+// preserving the metadata of the originals.
+func DecompressUpdates(updates []Update, deltas []SparseDelta, global []float64) []Update {
+	if len(updates) != len(deltas) {
+		panic("fl: DecompressUpdates length mismatch")
+	}
+	out := make([]Update, len(updates))
+	for i, u := range updates {
+		out[i] = u
+		out[i].Weights = deltas[i].Decompress(global)
+	}
+	return out
+}

@@ -1,0 +1,285 @@
+package fl
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"feddrl/internal/dataset"
+	"feddrl/internal/mathx"
+	"feddrl/internal/metrics"
+	"feddrl/internal/nn"
+	"feddrl/internal/rng"
+)
+
+// RunConfig configures a federated training run (Algorithm 2).
+type RunConfig struct {
+	// Rounds is the number of communication rounds T (1000 in §4.1.2;
+	// experiments here scale it down).
+	Rounds int
+	// K is the number of participating clients per round (default 10,
+	// §4.1.2). Clamped to the number of non-empty clients.
+	K int
+	// Local is the client solver configuration.
+	Local LocalConfig
+	// Factory instantiates the shared model architecture.
+	Factory nn.Factory
+	// Seed drives the server's randomness (initial weights, client
+	// selection).
+	Seed uint64
+	// Parallel trains the selected clients in goroutines. Results are
+	// bit-identical to sequential execution because each client owns its
+	// RNG.
+	Parallel bool
+	// EvalEvery sets the test-evaluation cadence in rounds (default 1).
+	EvalEvery int
+	// Selector chooses the participating clients each round; nil means
+	// uniform random selection (the paper's setting, §4.1.2).
+	Selector Selector
+}
+
+// Validate panics on an inconsistent run configuration.
+func (c RunConfig) Validate() {
+	if c.Rounds <= 0 || c.K <= 0 || c.Factory == nil {
+		panic(fmt.Sprintf("fl: invalid run config %+v", c))
+	}
+	c.Local.Validate()
+	if c.EvalEvery < 0 {
+		panic("fl: negative EvalEvery")
+	}
+}
+
+// RoundMetrics captures one communication round's measurements.
+type RoundMetrics struct {
+	Round int
+
+	// Evaluated reports whether TestAcc/TestLoss were measured this round.
+	Evaluated bool
+	TestAcc   float64
+	TestLoss  float64
+
+	// Client inference-loss statistics over the round's participants,
+	// measured on the fresh global model (the Fig. 6 robustness signal).
+	ClientLossMean float64
+	ClientLossVar  float64
+	ClientLossMax  float64
+	ClientLossMin  float64
+
+	// DecisionTime is the impact-factor computation (the "DRL" bar of
+	// Fig. 9); AggTime is the weighted weight merge (the "Aggregation"
+	// bar).
+	DecisionTime time.Duration
+	AggTime      time.Duration
+}
+
+// Result is a full training run's record.
+type Result struct {
+	Method   string
+	Rounds   []RoundMetrics
+	NumParam int
+
+	// Accuracy holds the test accuracy at every evaluated round, in
+	// percent (0–100), aligned with AccRounds.
+	Accuracy  metrics.Series
+	AccRounds []int
+}
+
+// Best returns the best test accuracy reached (Table 3's reporting rule).
+func (r *Result) Best() float64 { return r.Accuracy.Best() }
+
+// Final returns the last evaluated test accuracy.
+func (r *Result) Final() float64 { return r.Accuracy.Final() }
+
+// ClientLossMeans returns the per-round mean client inference loss.
+func (r *Result) ClientLossMeans() metrics.Series {
+	out := make(metrics.Series, len(r.Rounds))
+	for i, m := range r.Rounds {
+		out[i] = m.ClientLossMean
+	}
+	return out
+}
+
+// ClientLossVars returns the per-round variance of client inference loss.
+func (r *Result) ClientLossVars() metrics.Series {
+	out := make(metrics.Series, len(r.Rounds))
+	for i, m := range r.Rounds {
+		out[i] = m.ClientLossVar
+	}
+	return out
+}
+
+// MeanDecisionTime averages the aggregator's per-round decision time.
+func (r *Result) MeanDecisionTime() time.Duration {
+	if len(r.Rounds) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, m := range r.Rounds {
+		total += m.DecisionTime
+	}
+	return total / time.Duration(len(r.Rounds))
+}
+
+// MeanAggTime averages the per-round weight-merge time.
+func (r *Result) MeanAggTime() time.Duration {
+	if len(r.Rounds) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, m := range r.Rounds {
+		total += m.AggTime
+	}
+	return total / time.Duration(len(r.Rounds))
+}
+
+// Run executes Algorithm 2: for every round, broadcast the global
+// weights to K selected clients, train locally (optionally in parallel),
+// compute impact factors via the aggregator, merge (Eq. 4), and record
+// metrics. It returns the full per-round record.
+func Run(cfg RunConfig, clients []*Client, test *dataset.Dataset, agg Aggregator) *Result {
+	cfg.Validate()
+	if len(clients) == 0 {
+		panic("fl: Run with no clients")
+	}
+	if agg == nil {
+		panic("fl: Run with nil aggregator")
+	}
+	evalEvery := cfg.EvalEvery
+	if evalEvery == 0 {
+		evalEvery = 1
+	}
+
+	// Only clients with data can contribute.
+	eligible := make([]*Client, 0, len(clients))
+	for _, c := range clients {
+		if c.Data.N > 0 {
+			eligible = append(eligible, c)
+		}
+	}
+	if len(eligible) == 0 {
+		panic("fl: all client shards are empty")
+	}
+	k := cfg.K
+	if k > len(eligible) {
+		k = len(eligible)
+	}
+
+	serverRNG := rng.New(cfg.Seed)
+	serverModel := cfg.Factory(cfg.Seed)
+	global := serverModel.ParamVector()
+
+	sel := cfg.Selector
+	if sel == nil {
+		sel = UniformSelector{}
+	}
+	lastLoss := make([]float64, len(eligible))
+
+	res := &Result{Method: agg.Name(), NumParam: len(global)}
+	updates := make([]Update, k)
+	for round := 0; round < cfg.Rounds; round++ {
+		selected := sel.Select(round, k, eligible, lastLoss, serverRNG)
+
+		if cfg.Parallel && k > 1 {
+			var wg sync.WaitGroup
+			for i, ci := range selected {
+				wg.Add(1)
+				go func(i, ci int) {
+					defer wg.Done()
+					updates[i] = eligible[ci].Run(global, cfg.Local)
+				}(i, ci)
+			}
+			wg.Wait()
+		} else {
+			for i, ci := range selected {
+				updates[i] = eligible[ci].Run(global, cfg.Local)
+			}
+		}
+
+		for i, ci := range selected {
+			lastLoss[ci] = updates[i].LossBefore
+		}
+
+		t0 := time.Now()
+		alpha := agg.ImpactFactors(round, updates)
+		decision := time.Since(t0)
+
+		t1 := time.Now()
+		global = Aggregate(updates, alpha)
+		aggTime := time.Since(t1)
+
+		lb := make([]float64, k)
+		for i, u := range updates {
+			lb[i] = u.LossBefore
+		}
+		m := RoundMetrics{
+			Round:          round,
+			ClientLossMean: mathx.Mean(lb),
+			ClientLossVar:  mathx.Variance(lb),
+			ClientLossMax:  mathx.Max(lb),
+			ClientLossMin:  mathx.Min(lb),
+			DecisionTime:   decision,
+			AggTime:        aggTime,
+		}
+		if test != nil && (round%evalEvery == 0 || round == cfg.Rounds-1) {
+			serverModel.SetParamVector(global)
+			loss, acc := EvalLossAcc(serverModel, test)
+			m.Evaluated = true
+			m.TestLoss = loss
+			m.TestAcc = acc * 100
+			res.Accuracy = append(res.Accuracy, m.TestAcc)
+			res.AccRounds = append(res.AccRounds, round)
+		}
+		res.Rounds = append(res.Rounds, m)
+	}
+	return res
+}
+
+// SingleSet trains on the concatenation of all client data in one place
+// (the reference upper bound of §4.1): per "round" the model runs the
+// same local-solver budget over the combined dataset, and the test
+// accuracy is recorded on the same cadence as the federated runs.
+func SingleSet(cfg RunConfig, all *dataset.Dataset, test *dataset.Dataset) *Result {
+	cfg.Validate()
+	if all == nil || all.N == 0 {
+		panic("fl: SingleSet with no data")
+	}
+	evalEvery := cfg.EvalEvery
+	if evalEvery == 0 {
+		evalEvery = 1
+	}
+	client := NewClient(0, all, cfg.Factory, cfg.Seed+0xace)
+	serverModel := cfg.Factory(cfg.Seed)
+	global := serverModel.ParamVector()
+	res := &Result{Method: "SingleSet", NumParam: len(global)}
+	for round := 0; round < cfg.Rounds; round++ {
+		u := client.Run(global, cfg.Local)
+		global = u.Weights
+		m := RoundMetrics{
+			Round:          round,
+			ClientLossMean: u.LossBefore,
+			ClientLossMax:  u.LossBefore,
+			ClientLossMin:  u.LossBefore,
+		}
+		if test != nil && (round%evalEvery == 0 || round == cfg.Rounds-1) {
+			serverModel.SetParamVector(global)
+			loss, acc := EvalLossAcc(serverModel, test)
+			m.Evaluated = true
+			m.TestLoss = loss
+			m.TestAcc = acc * 100
+			res.Accuracy = append(res.Accuracy, m.TestAcc)
+			res.AccRounds = append(res.AccRounds, round)
+		}
+		res.Rounds = append(res.Rounds, m)
+	}
+	return res
+}
+
+// BuildClients splits a dataset by an assignment's client index lists and
+// wraps each shard in a Client (deterministic per seed and client ID).
+func BuildClients(d *dataset.Dataset, indices [][]int, factory nn.Factory, seed uint64) []*Client {
+	clients := make([]*Client, len(indices))
+	for i, idx := range indices {
+		clients[i] = NewClient(i, d.Subset(idx), factory, seed+uint64(i)*0x9e3779b9)
+	}
+	return clients
+}

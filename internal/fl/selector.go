@@ -1,0 +1,148 @@
+package fl
+
+import (
+	"fmt"
+
+	"feddrl/internal/rng"
+)
+
+// Selector chooses which clients participate each round. The paper's
+// §1 cites client selection as the *alternative* family of solutions to
+// statistical heterogeneity [3, 21, 30]; the library makes the strategy
+// pluggable so FedDRL's aggregation-side adaptation can be combined with
+// or compared against selection-side approaches. The default (and the
+// paper's setting, §4.1.2) is uniform random selection.
+type Selector interface {
+	// Name identifies the strategy.
+	Name() string
+	// Select returns k distinct indices into eligible. losses holds each
+	// eligible client's most recent global-model inference loss (0 when
+	// never measured), allowing loss-aware strategies.
+	Select(round, k int, eligible []*Client, losses []float64, r *rng.RNG) []int
+}
+
+// UniformSelector draws K clients uniformly without replacement — the
+// FedAvg/paper default.
+type UniformSelector struct{}
+
+// Name returns "uniform".
+func (UniformSelector) Name() string { return "uniform" }
+
+// Select implements Selector.
+func (UniformSelector) Select(round, k int, eligible []*Client, losses []float64, r *rng.RNG) []int {
+	return r.Choose(len(eligible), k)
+}
+
+// SizeWeightedSelector samples clients with probability proportional to
+// their shard size (without replacement), the common importance-sampling
+// variant.
+type SizeWeightedSelector struct{}
+
+// Name returns "size-weighted".
+func (SizeWeightedSelector) Name() string { return "size-weighted" }
+
+// Select implements Selector.
+func (SizeWeightedSelector) Select(round, k int, eligible []*Client, losses []float64, r *rng.RNG) []int {
+	weights := make([]float64, len(eligible))
+	for i, c := range eligible {
+		weights[i] = float64(c.Data.N)
+	}
+	return sampleWithoutReplacement(weights, k, r)
+}
+
+// PowerOfChoiceSelector implements the power-of-d-choice strategy of Cho
+// et al. (cited as [3]): sample a candidate set of d·k clients uniformly,
+// then keep the k with the highest current loss (the clients the global
+// model serves worst), which speeds convergence under heterogeneity.
+type PowerOfChoiceSelector struct {
+	// D is the candidate multiplier (d≥1); d=1 degenerates to uniform.
+	D int
+}
+
+// Name returns "power-of-choice".
+func (PowerOfChoiceSelector) Name() string { return "power-of-choice" }
+
+// Select implements Selector.
+func (s PowerOfChoiceSelector) Select(round, k int, eligible []*Client, losses []float64, r *rng.RNG) []int {
+	d := s.D
+	if d < 1 {
+		d = 2
+	}
+	cand := d * k
+	if cand > len(eligible) {
+		cand = len(eligible)
+	}
+	pool := r.Choose(len(eligible), cand)
+	// Highest-loss k of the candidate set (selection sort: k is small).
+	for i := 0; i < k && i < len(pool); i++ {
+		best := i
+		for j := i + 1; j < len(pool); j++ {
+			if losses[pool[j]] > losses[pool[best]] {
+				best = j
+			}
+		}
+		pool[i], pool[best] = pool[best], pool[i]
+	}
+	return pool[:k]
+}
+
+// RoundRobinSelector cycles deterministically through the clients, a
+// fairness-first baseline.
+type RoundRobinSelector struct{}
+
+// Name returns "round-robin".
+func (RoundRobinSelector) Name() string { return "round-robin" }
+
+// Select implements Selector.
+func (RoundRobinSelector) Select(round, k int, eligible []*Client, losses []float64, r *rng.RNG) []int {
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = (round*k + i) % len(eligible)
+	}
+	return out
+}
+
+// sampleWithoutReplacement draws k distinct indices with probability
+// proportional to weights.
+func sampleWithoutReplacement(weights []float64, k int, r *rng.RNG) []int {
+	n := len(weights)
+	if k > n {
+		panic(fmt.Sprintf("fl: sample %d of %d", k, n))
+	}
+	w := append([]float64(nil), weights...)
+	out := make([]int, 0, k)
+	chosen := make([]bool, n)
+	for len(out) < k {
+		total := 0.0
+		for i, v := range w {
+			if !chosen[i] {
+				total += v
+			}
+		}
+		if total <= 0 {
+			// Remaining weights all zero: fall back to uniform over the
+			// unchosen clients.
+			for i := 0; len(out) < k && i < n; i++ {
+				if !chosen[i] {
+					chosen[i] = true
+					out = append(out, i)
+				}
+			}
+			break
+		}
+		u := r.Float64() * total
+		acc := 0.0
+		for i, v := range w {
+			if chosen[i] {
+				continue
+			}
+			acc += v
+			if u < acc {
+				chosen[i] = true
+				out = append(out, i)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"feddrl/internal/core"
+)
+
+func warmAgentConfig(k int) core.Config {
+	cfg := core.DefaultConfig(k)
+	cfg.Hidden = 8
+	cfg.BatchSize = 4
+	cfg.WarmupExperiences = 3
+	cfg.UpdatesPerRound = 1
+	cfg.BufferCap = 64
+	return cfg
+}
+
+func fakeUpdates(k, dim int) []Update {
+	ups := make([]Update, k)
+	for i := range ups {
+		w := make([]float64, dim)
+		for j := range w {
+			w[j] = float64(i)
+		}
+		ups[i] = Update{ClientID: i, N: (i + 1) * 10, LossBefore: 1 + 0.1*float64(i), LossAfter: 0.5, Weights: w}
+	}
+	return ups
+}
+
+func TestFedDRLWarmupUsesFedAvgWeights(t *testing.T) {
+	agg := NewFedDRL(core.NewAgent(warmAgentConfig(4)))
+	ups := fakeUpdates(4, 3)
+	want := (FedAvg{}).ImpactFactors(0, ups)
+	got := agg.ImpactFactors(0, ups)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("warmup weights %v, want FedAvg %v", got, want)
+		}
+	}
+}
+
+func TestFedDRLWarmupWithoutPrior(t *testing.T) {
+	agg := NewFedDRL(core.NewAgent(warmAgentConfig(4)))
+	agg.FedAvgPrior = false
+	ups := fakeUpdates(4, 3)
+	want := (FedAvg{}).ImpactFactors(0, ups)
+	got := agg.ImpactFactors(0, ups)
+	// Warmup still uses the FedAvg behavior policy even without the
+	// prior parameterization.
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("warmup weights %v, want FedAvg %v", got, want)
+		}
+	}
+}
+
+func TestFedDRLPostWarmupActsWithPolicy(t *testing.T) {
+	cfg := warmAgentConfig(4)
+	agent := core.NewAgent(cfg)
+	agg := NewFedDRL(agent)
+	agg.Explore = false // deterministic for the test
+	ups := fakeUpdates(4, 3)
+	// Drive past warmup: each round (after the first) stores one
+	// experience.
+	var alpha []float64
+	for round := 0; round < cfg.WarmupExperiences+3; round++ {
+		alpha = agg.ImpactFactors(round, ups)
+	}
+	if !agent.ReadyToTrain() {
+		t.Fatal("agent never reached warmup")
+	}
+	sum := 0.0
+	for _, v := range alpha {
+		if v < 0 {
+			t.Fatalf("negative post-warmup weight: %v", alpha)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("post-warmup weights sum to %v", sum)
+	}
+}
+
+func TestFedDRLPriorAnchorsNearFedAvg(t *testing.T) {
+	// With a freshly initialized (near-zero-output) policy, the
+	// prior-anchored weights should stay close to FedAvg — the residual
+	// design's whole point.
+	cfg := warmAgentConfig(4)
+	agent := core.NewAgent(cfg)
+	agg := NewFedDRL(agent)
+	agg.Explore = false
+	ups := fakeUpdates(4, 3)
+	for round := 0; round < cfg.WarmupExperiences+2; round++ {
+		agg.ImpactFactors(round, ups)
+	}
+	got := agg.ImpactFactors(99, ups)
+	want := (FedAvg{}).ImpactFactors(99, ups)
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 0.15 {
+			t.Fatalf("prior-anchored weights far from FedAvg: %v vs %v", got, want)
+		}
+	}
+}

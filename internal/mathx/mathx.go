@@ -1,0 +1,259 @@
+// Package mathx collects the small numeric kernels shared by every other
+// package in the FedDRL reproduction: numerically stable softmax and
+// log-sum-exp, summary statistics over slices (mean, variance, extrema),
+// and the BLAS-1 style vector primitives (dot, axpy, scale) used by the
+// neural-network layers and the weighted model aggregation (Eq. 4 of the
+// paper).
+package mathx
+
+import "math"
+
+// Softmax returns the softmax of x in a freshly allocated slice. It is
+// numerically stable (shifts by the max) and returns a uniform
+// distribution for an empty-range degenerate input of all -Inf.
+func Softmax(x []float64) []float64 {
+	out := make([]float64, len(x))
+	SoftmaxTo(out, x)
+	return out
+}
+
+// SoftmaxTo writes softmax(x) into dst. dst and x must have equal length;
+// they may alias.
+func SoftmaxTo(dst, x []float64) {
+	if len(dst) != len(x) {
+		panic("mathx: SoftmaxTo length mismatch")
+	}
+	if len(x) == 0 {
+		return
+	}
+	max := x[0]
+	for _, v := range x[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	sum := 0.0
+	for i, v := range x {
+		e := math.Exp(v - max)
+		dst[i] = e
+		sum += e
+	}
+	if sum == 0 || math.IsNaN(sum) || math.IsInf(sum, 0) {
+		u := 1 / float64(len(dst))
+		for i := range dst {
+			dst[i] = u
+		}
+		return
+	}
+	for i := range dst {
+		dst[i] /= sum
+	}
+}
+
+// LogSumExp returns log(Σ exp(x_i)) computed stably.
+func LogSumExp(x []float64) float64 {
+	if len(x) == 0 {
+		return math.Inf(-1)
+	}
+	max := x[0]
+	for _, v := range x[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	if math.IsInf(max, -1) {
+		return max
+	}
+	sum := 0.0
+	for _, v := range x {
+		sum += math.Exp(v - max)
+	}
+	return max + math.Log(sum)
+}
+
+// Sum returns the sum of x using Kahan compensation, which matters when
+// accumulating many small per-sample losses.
+func Sum(x []float64) float64 {
+	sum, c := 0.0, 0.0
+	for _, v := range x {
+		y := v - c
+		t := sum + y
+		c = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Sum(x) / float64(len(x))
+}
+
+// Variance returns the population variance of x, or 0 for fewer than two
+// elements.
+func Variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	acc := 0.0
+	for _, v := range x {
+		d := v - m
+		acc += d * d
+	}
+	return acc / float64(len(x))
+}
+
+// Std returns the population standard deviation of x.
+func Std(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// Min returns the minimum of x. It panics on an empty slice.
+func Min(x []float64) float64 {
+	if len(x) == 0 {
+		panic("mathx: Min of empty slice")
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of x. It panics on an empty slice.
+func Max(x []float64) float64 {
+	if len(x) == 0 {
+		panic("mathx: Max of empty slice")
+	}
+	m := x[0]
+	for _, v := range x[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the first maximal element of x. It panics
+// on an empty slice.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		panic("mathx: ArgMax of empty slice")
+	}
+	best, bestV := 0, x[0]
+	for i, v := range x[1:] {
+		if v > bestV {
+			best, bestV = i+1, v
+		}
+	}
+	return best
+}
+
+// Dot returns the inner product of a and b. Lengths must match.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("mathx: Dot length mismatch")
+	}
+	sum := 0.0
+	for i, v := range a {
+		sum += v * b[i]
+	}
+	return sum
+}
+
+// Axpy computes y ← y + alpha*x in place. Lengths must match.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic("mathx: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// L2Norm returns the Euclidean norm of x.
+func L2Norm(x []float64) float64 {
+	// Scaled accumulation to avoid overflow for large magnitudes.
+	max := 0.0
+	for _, v := range x {
+		a := math.Abs(v)
+		if a > max {
+			max = a
+		}
+	}
+	if max == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range x {
+		s := v / max
+		sum += s * s
+	}
+	return max * math.Sqrt(sum)
+}
+
+// Softplus returns log(1 + e^x) computed stably.
+func Softplus(x float64) float64 {
+	if x > 30 {
+		return x
+	}
+	if x < -30 {
+		return math.Exp(x)
+	}
+	return math.Log1p(math.Exp(x))
+}
+
+// AllFinite reports whether every element of x is finite (no NaN/Inf).
+func AllFinite(x []float64) bool {
+	for _, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+// WeightedSum computes Σ_k w_k · vecs_k into dst (the aggregation kernel
+// of Eq. 4). All vectors must share dst's length; weights and vecs must
+// have equal length. dst is overwritten.
+func WeightedSum(dst []float64, weights []float64, vecs [][]float64) {
+	if len(weights) != len(vecs) {
+		panic("mathx: WeightedSum weights/vecs length mismatch")
+	}
+	Fill(dst, 0)
+	for k, v := range vecs {
+		if len(v) != len(dst) {
+			panic("mathx: WeightedSum vector length mismatch")
+		}
+		Axpy(weights[k], v, dst)
+	}
+}

@@ -1,0 +1,111 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// CSV export: the figure runners render text tables for the terminal,
+// and the same data can be exported as CSV for external plotting (the
+// paper's figures are line plots; cmd/tables -csv writes one file per
+// experiment).
+
+// SeriesSet is a set of named, aligned series over a shared x axis —
+// one Figure-5/7/8-style plot.
+type SeriesSet struct {
+	XName string
+	X     []float64
+	Names []string
+	Data  map[string]Series
+}
+
+// NewSeriesSet builds an empty series set over the given x axis.
+func NewSeriesSet(xName string, x []float64) *SeriesSet {
+	return &SeriesSet{XName: xName, X: x, Data: map[string]Series{}}
+}
+
+// Add attaches a named series; its length must match the x axis.
+func (ss *SeriesSet) Add(name string, s Series) {
+	if len(s) != len(ss.X) {
+		panic(fmt.Sprintf("metrics: series %q length %d, x axis %d", name, len(s), len(ss.X)))
+	}
+	if _, dup := ss.Data[name]; dup {
+		panic(fmt.Sprintf("metrics: duplicate series %q", name))
+	}
+	ss.Names = append(ss.Names, name)
+	ss.Data[name] = s
+}
+
+// WriteCSV emits the set as RFC-4180 CSV with a header row.
+func (ss *SeriesSet) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := append([]string{ss.XName}, ss.Names...)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("metrics: csv header: %w", err)
+	}
+	for i, x := range ss.X {
+		row := make([]string, 0, len(header))
+		row = append(row, strconv.FormatFloat(x, 'g', -1, 64))
+		for _, name := range ss.Names {
+			row = append(row, strconv.FormatFloat(ss.Data[name][i], 'g', -1, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("metrics: csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSV writes the set to a file path.
+func (ss *SeriesSet) SaveCSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics: create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := ss.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// ReadCSV parses a file written by WriteCSV back into a SeriesSet
+// (round-trip support for downstream tooling and tests).
+func ReadCSV(r io.Reader) (*SeriesSet, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("metrics: csv parse: %w", err)
+	}
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, fmt.Errorf("metrics: empty csv")
+	}
+	header := rows[0]
+	ss := NewSeriesSet(header[0], nil)
+	cols := make([]Series, len(header)-1)
+	for _, row := range rows[1:] {
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("metrics: ragged csv row")
+		}
+		x, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: bad x value %q: %w", row[0], err)
+		}
+		ss.X = append(ss.X, x)
+		for c := 1; c < len(row); c++ {
+			v, err := strconv.ParseFloat(row[c], 64)
+			if err != nil {
+				return nil, fmt.Errorf("metrics: bad value %q: %w", row[c], err)
+			}
+			cols[c-1] = append(cols[c-1], v)
+		}
+	}
+	for c, name := range header[1:] {
+		ss.Add(name, cols[c])
+	}
+	return ss, nil
+}

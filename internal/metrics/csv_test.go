@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSeriesSetCSVRoundTrip(t *testing.T) {
+	ss := NewSeriesSet("round", []float64{0, 1, 2})
+	ss.Add("FedAvg", Series{10, 20, 30})
+	ss.Add("FedDRL", Series{12, 25, 33})
+	var buf bytes.Buffer
+	if err := ss.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "round,FedAvg,FedDRL\n") {
+		t.Fatalf("csv header wrong:\n%s", out)
+	}
+	got, err := ReadCSV(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.XName != "round" || len(got.X) != 3 {
+		t.Fatalf("x axis lost: %+v", got)
+	}
+	if got.Data["FedDRL"][2] != 33 || got.Data["FedAvg"][0] != 10 {
+		t.Fatalf("values lost: %+v", got.Data)
+	}
+	if len(got.Names) != 2 || got.Names[0] != "FedAvg" {
+		t.Fatalf("column order lost: %v", got.Names)
+	}
+}
+
+func TestSeriesSetFile(t *testing.T) {
+	ss := NewSeriesSet("k", []float64{4, 8})
+	ss.Add("acc", Series{50, 60})
+	path := filepath.Join(t.TempDir(), "fig7.csv")
+	if err := ss.SaveCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	// File is readable back through the os path too.
+	f, err := osOpen(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := ReadCSV(f)
+	if err != nil || got.Data["acc"][1] != 60 {
+		t.Fatalf("file round trip failed: %v %+v", err, got)
+	}
+}
+
+func TestSeriesSetPanics(t *testing.T) {
+	ss := NewSeriesSet("x", []float64{1, 2})
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("length mismatch did not panic")
+			}
+		}()
+		ss.Add("bad", Series{1})
+	}()
+	ss.Add("a", Series{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate name did not panic")
+		}
+	}()
+	ss.Add("a", Series{3, 4})
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"x,a\n1\n",        // ragged handled by csv reader as error
+		"x,a\nfoo,1\n",    // bad x
+		"x,a\n1,notnum\n", // bad value
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Fatalf("case %d did not error", i)
+		}
+	}
+}
+
+// osOpen indirects os.Open so the test file's imports stay tidy.
+func osOpen(path string) (*os.File, error) { return os.Open(path) }

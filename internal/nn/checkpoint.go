@@ -1,0 +1,29 @@
+package nn
+
+import (
+	"fmt"
+
+	"feddrl/internal/serialize"
+)
+
+// SaveInto stores the network's parameters in a checkpoint under the
+// given key (e.g. "global", "policy").
+func (n *Network) SaveInto(c *serialize.Checkpoint, key string) {
+	c.Vectors[key] = n.ParamVector()
+	c.Meta[key+".params"] = fmt.Sprintf("%d", n.NumParams())
+}
+
+// LoadFrom restores the network's parameters from a checkpoint key. The
+// stored vector must match this network's architecture.
+func (n *Network) LoadFrom(c *serialize.Checkpoint, key string) error {
+	v, ok := c.Vectors[key]
+	if !ok {
+		return fmt.Errorf("nn: checkpoint has no vector %q", key)
+	}
+	if len(v) != n.NumParams() {
+		return fmt.Errorf("nn: checkpoint vector %q has %d params, network needs %d",
+			key, len(v), n.NumParams())
+	}
+	n.SetParamVector(v)
+	return nil
+}

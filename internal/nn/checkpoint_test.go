@@ -1,0 +1,39 @@
+package nn
+
+import (
+	"testing"
+
+	"feddrl/internal/rng"
+	"feddrl/internal/serialize"
+)
+
+func TestNetworkCheckpointRoundTrip(t *testing.T) {
+	n1 := NewMLP(rng.New(1), 4, []int{6}, 3)
+	c := serialize.NewCheckpoint()
+	n1.SaveInto(c, "global")
+	if c.Meta["global.params"] == "" {
+		t.Fatal("param-count metadata missing")
+	}
+	n2 := NewMLP(rng.New(2), 4, []int{6}, 3)
+	if err := n2.LoadFrom(c, "global"); err != nil {
+		t.Fatal(err)
+	}
+	v1, v2 := n1.ParamVector(), n2.ParamVector()
+	for i := range v1 {
+		if v1[i] != v2[i] {
+			t.Fatal("checkpoint round trip lost parameters")
+		}
+	}
+}
+
+func TestNetworkLoadFromErrors(t *testing.T) {
+	n := NewMLP(rng.New(1), 4, []int{6}, 3)
+	c := serialize.NewCheckpoint()
+	if err := n.LoadFrom(c, "missing"); err == nil {
+		t.Fatal("missing key accepted")
+	}
+	c.Vectors["short"] = []float64{1, 2, 3}
+	if err := n.LoadFrom(c, "short"); err == nil {
+		t.Fatal("wrong-length vector accepted")
+	}
+}

@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"fmt"
+
+	"feddrl/internal/rng"
+	"feddrl/internal/tensor"
+)
+
+// Factory constructs a fresh network from a seed. FL clients and the
+// server use factories so every participant can instantiate an
+// identically shaped model and exchange flat parameter vectors.
+type Factory func(seed uint64) *Network
+
+// NewMLP builds a multi-layer perceptron with ReLU activations between
+// dense layers and raw logits at the output.
+func NewMLP(r *rng.RNG, in int, hidden []int, out int) *Network {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: MLP with non-positive in/out (%d,%d)", in, out))
+	}
+	var layers []Layer
+	prev := in
+	for _, h := range hidden {
+		layers = append(layers, NewDense(r, prev, h), NewReLU())
+		prev = h
+	}
+	layers = append(layers, NewDense(r, prev, out))
+	return NewNetwork(layers...)
+}
+
+// NewSimpleCNN builds the "simple CNN" of §4.1.2 used for MNIST and
+// Fashion-MNIST (after Wu & Wang 2021): two 3×3 convolutions with 2×2 max
+// pooling, followed by a dense classifier. Spatial dims must be divisible
+// by 4.
+func NewSimpleCNN(r *rng.RNG, c, h, w, classes int) *Network {
+	if h%4 != 0 || w%4 != 0 {
+		panic(fmt.Sprintf("nn: SimpleCNN needs spatial dims divisible by 4, got %dx%d", h, w))
+	}
+	g1 := tensor.ConvGeom{InC: c, InH: h, InW: w, K: 3, Stride: 1, Pad: 1}
+	conv1 := NewConv2D(r, g1, 8)
+	pool1 := NewMaxPool2D(8, h, w, 2, 2)
+	g2 := tensor.ConvGeom{InC: 8, InH: h / 2, InW: w / 2, K: 3, Stride: 1, Pad: 1}
+	conv2 := NewConv2D(r, g2, 16)
+	pool2 := NewMaxPool2D(16, h/2, w/2, 2, 2)
+	flat := 16 * (h / 4) * (w / 4)
+	return NewNetwork(
+		conv1, NewReLU(), pool1,
+		conv2, NewReLU(), pool2,
+		NewDense(r, flat, classes),
+	)
+}
+
+// NewVGGMini builds the scaled stand-in for VGG-11 used for the
+// CIFAR-100 analogue (§4.1.2): four convolution blocks with channel
+// doubling and 2×2 pooling after each pair, then a two-layer classifier.
+// It has roughly an order of magnitude more parameters than SimpleCNN,
+// preserving the model-size relationship Figure 9 depends on. Spatial
+// dims must be divisible by 4.
+func NewVGGMini(r *rng.RNG, c, h, w, classes int) *Network {
+	if h%4 != 0 || w%4 != 0 {
+		panic(fmt.Sprintf("nn: VGGMini needs spatial dims divisible by 4, got %dx%d", h, w))
+	}
+	g1 := tensor.ConvGeom{InC: c, InH: h, InW: w, K: 3, Stride: 1, Pad: 1}
+	conv1 := NewConv2D(r, g1, 16)
+	g2 := tensor.ConvGeom{InC: 16, InH: h, InW: w, K: 3, Stride: 1, Pad: 1}
+	conv2 := NewConv2D(r, g2, 16)
+	pool1 := NewMaxPool2D(16, h, w, 2, 2)
+	g3 := tensor.ConvGeom{InC: 16, InH: h / 2, InW: w / 2, K: 3, Stride: 1, Pad: 1}
+	conv3 := NewConv2D(r, g3, 32)
+	g4 := tensor.ConvGeom{InC: 32, InH: h / 2, InW: w / 2, K: 3, Stride: 1, Pad: 1}
+	conv4 := NewConv2D(r, g4, 32)
+	pool2 := NewMaxPool2D(32, h/2, w/2, 2, 2)
+	flat := 32 * (h / 4) * (w / 4)
+	return NewNetwork(
+		conv1, NewReLU(),
+		conv2, NewReLU(), pool1,
+		conv3, NewReLU(),
+		conv4, NewReLU(), pool2,
+		NewDense(r, flat, 128), NewReLU(),
+		NewDense(r, 128, classes),
+	)
+}
+
+// ddpgHeadInit is the final-layer initialization scale of Lillicrap et
+// al. (DDPG, the paper's reference [15]): the output layers of both the
+// actor and the critic are drawn from U(−3e-3, 3e-3) so initial actions
+// and Q-values start near zero instead of at He-init magnitude. For the
+// FedDRL aggregator this means the initial policy deviates negligibly
+// from the FedAvg-anchored prior.
+const ddpgHeadInit = 3e-3
+
+func smallHead(r *rng.RNG, in, out int) *Dense {
+	d := NewDense(r, in, out)
+	for i := range d.W.Data {
+		d.W.Data[i] = (2*r.Float64() - 1) * ddpgHeadInit
+	}
+	return d
+}
+
+// NewPolicyMLP builds the DRL policy network of Table 1 / Fig. 3(c):
+// three hidden fully connected layers of `hidden` (256) units with
+// LeakyReLU activations, emitting a flat vector of 2K raw values (K means
+// and K pre-softplus standard deviations). The output head uses the DDPG
+// small-uniform initialization.
+func NewPolicyMLP(r *rng.RNG, stateDim, k, hidden int) *Network {
+	return NewNetwork(
+		NewDense(r, stateDim, hidden), NewLeakyReLU(0.01),
+		NewDense(r, hidden, hidden), NewLeakyReLU(0.01),
+		NewDense(r, hidden, hidden), NewLeakyReLU(0.01),
+		smallHead(r, hidden, 2*k),
+	)
+}
+
+// NewValueMLP builds the DRL value network of Table 1 / Fig. 3(c): two
+// hidden layers of `hidden` (256) units with LeakyReLU activations over
+// the concatenated (state, action) input, emitting a scalar Q-value. The
+// output head uses the DDPG small-uniform initialization.
+func NewValueMLP(r *rng.RNG, stateDim, actionDim, hidden int) *Network {
+	return NewNetwork(
+		NewDense(r, stateDim+actionDim, hidden), NewLeakyReLU(0.01),
+		NewDense(r, hidden, hidden), NewLeakyReLU(0.01),
+		smallHead(r, hidden, 1),
+	)
+}

@@ -1,0 +1,133 @@
+package nn
+
+import (
+	"fmt"
+
+	"feddrl/internal/tensor"
+)
+
+// Network is a sequential stack of layers with flat parameter-vector
+// access, the representation federated aggregation operates on: the FL
+// server exchanges []float64 weight vectors with clients (Eq. 1 / Eq. 4
+// of the paper) and the DRL agent's soft target updates blend them.
+type Network struct {
+	layers []Layer
+}
+
+// NewNetwork builds a sequential network from the given layers.
+func NewNetwork(layers ...Layer) *Network {
+	if len(layers) == 0 {
+		panic("nn: NewNetwork with no layers")
+	}
+	return &Network{layers: layers}
+}
+
+// Layers returns the layer slice (shared, not copied).
+func (n *Network) Layers() []Layer { return n.layers }
+
+// Forward runs all layers in order.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse, returning the input gradient.
+func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		grad = n.layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params returns all parameter tensors in layer order.
+func (n *Network) Params() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range n.layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// Grads returns all gradient tensors, aligned with Params.
+func (n *Network) Grads() []*tensor.Tensor {
+	var out []*tensor.Tensor
+	for _, l := range n.layers {
+		out = append(out, l.Grads()...)
+	}
+	return out
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (n *Network) ZeroGrads() {
+	for _, g := range n.Grads() {
+		g.Zero()
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.Len()
+	}
+	return total
+}
+
+// ParamVector returns a copy of all parameters flattened into one vector,
+// in deterministic layer order. This is the representation exchanged
+// between FL clients and the server.
+func (n *Network) ParamVector() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, p := range n.Params() {
+		out = append(out, p.Data...)
+	}
+	return out
+}
+
+// SetParamVector loads a flat parameter vector produced by ParamVector on
+// a network of identical architecture.
+func (n *Network) SetParamVector(v []float64) {
+	want := n.NumParams()
+	if len(v) != want {
+		panic(fmt.Sprintf("nn: SetParamVector length %d, want %d", len(v), want))
+	}
+	off := 0
+	for _, p := range n.Params() {
+		copy(p.Data, v[off:off+p.Len()])
+		off += p.Len()
+	}
+}
+
+// GradVector returns a copy of all gradients flattened, aligned with
+// ParamVector.
+func (n *Network) GradVector() []float64 {
+	out := make([]float64, 0, n.NumParams())
+	for _, g := range n.Grads() {
+		out = append(out, g.Data...)
+	}
+	return out
+}
+
+// SoftUpdateFrom blends the parameters of src into n:
+// θ_n ← (1−rho)·θ_n + rho·θ_src. This is the ρ-soft target-network update
+// of Algorithm 1 lines 8–9. Architectures must match.
+func (n *Network) SoftUpdateFrom(src *Network, rho float64) {
+	np, sp := n.Params(), src.Params()
+	if len(np) != len(sp) {
+		panic("nn: SoftUpdateFrom architecture mismatch")
+	}
+	for i, p := range np {
+		s := sp[i]
+		if p.Len() != s.Len() {
+			panic("nn: SoftUpdateFrom parameter shape mismatch")
+		}
+		for j := range p.Data {
+			p.Data[j] = (1-rho)*p.Data[j] + rho*s.Data[j]
+		}
+	}
+}
+
+// CopyFrom copies all parameters of src into n. Architectures must match.
+func (n *Network) CopyFrom(src *Network) { n.SoftUpdateFrom(src, 1) }

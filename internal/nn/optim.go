@@ -1,0 +1,135 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// SGD is stochastic gradient descent with optional momentum, weight decay
+// and the FedProx proximal term. The paper uses plain SGD with lr = 0.01
+// as the local solver (§4.1.2); FedProx clients additionally set ProxMu
+// and ProxRef to pull iterates toward the round's global model (μ‖w−w^t‖²/2,
+// Li et al. 2020, μ = 0.01 in §4.1.2).
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	// ProxMu and ProxRef implement the FedProx proximal term: the
+	// gradient gains ProxMu·(w − ProxRef). ProxRef is a flat parameter
+	// vector aligned with Network.ParamVector; nil disables the term.
+	ProxMu  float64
+	ProxRef []float64
+
+	vel [][]float64
+}
+
+// NewSGD returns a plain SGD optimizer with the given learning rate.
+func NewSGD(lr float64) *SGD {
+	if lr <= 0 {
+		panic(fmt.Sprintf("nn: SGD with non-positive learning rate %v", lr))
+	}
+	return &SGD{LR: lr}
+}
+
+// Step applies one update to the network's parameters from its
+// accumulated gradients, then leaves the gradients untouched (callers
+// usually follow with Network.ZeroGrads).
+func (o *SGD) Step(n *Network) {
+	params, grads := n.Params(), n.Grads()
+	if o.Momentum != 0 && o.vel == nil {
+		o.vel = make([][]float64, len(params))
+		for i, p := range params {
+			o.vel[i] = make([]float64, p.Len())
+		}
+	}
+	if o.ProxRef != nil && len(o.ProxRef) != n.NumParams() {
+		panic(fmt.Sprintf("nn: SGD proximal reference length %d, want %d", len(o.ProxRef), n.NumParams()))
+	}
+	off := 0
+	for i, p := range params {
+		g := grads[i]
+		for j := range p.Data {
+			gj := g.Data[j]
+			if o.WeightDecay != 0 {
+				gj += o.WeightDecay * p.Data[j]
+			}
+			if o.ProxRef != nil && o.ProxMu != 0 {
+				gj += o.ProxMu * (p.Data[j] - o.ProxRef[off+j])
+			}
+			if o.Momentum != 0 {
+				o.vel[i][j] = o.Momentum*o.vel[i][j] + gj
+				gj = o.vel[i][j]
+			}
+			p.Data[j] -= o.LR * gj
+		}
+		off += p.Len()
+	}
+}
+
+// Adam is the Adam optimizer used for the DRL policy and value networks
+// (learning rates 1e-4 and 1e-3, Table 1).
+type Adam struct {
+	LR      float64
+	Beta1   float64
+	Beta2   float64
+	Epsilon float64
+
+	// MaxGradNorm, if positive, clips the global gradient norm before the
+	// update — a stability guard for early DDPG training when TD targets
+	// are noisy.
+	MaxGradNorm float64
+
+	t    int
+	m, v [][]float64
+}
+
+// NewAdam returns an Adam optimizer with the conventional
+// β1=0.9, β2=0.999, ε=1e-8 defaults.
+func NewAdam(lr float64) *Adam {
+	if lr <= 0 {
+		panic(fmt.Sprintf("nn: Adam with non-positive learning rate %v", lr))
+	}
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Epsilon: 1e-8}
+}
+
+// Step applies one Adam update to the network's parameters.
+func (o *Adam) Step(n *Network) {
+	params, grads := n.Params(), n.Grads()
+	if o.m == nil {
+		o.m = make([][]float64, len(params))
+		o.v = make([][]float64, len(params))
+		for i, p := range params {
+			o.m[i] = make([]float64, p.Len())
+			o.v[i] = make([]float64, p.Len())
+		}
+	}
+	scale := 1.0
+	if o.MaxGradNorm > 0 {
+		sq := 0.0
+		for _, g := range grads {
+			for _, v := range g.Data {
+				sq += v * v
+			}
+		}
+		norm := math.Sqrt(sq)
+		if norm > o.MaxGradNorm {
+			scale = o.MaxGradNorm / norm
+		}
+	}
+	o.t++
+	bc1 := 1 - math.Pow(o.Beta1, float64(o.t))
+	bc2 := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i, p := range params {
+		g := grads[i]
+		mi, vi := o.m[i], o.v[i]
+		for j := range p.Data {
+			gj := g.Data[j] * scale
+			mi[j] = o.Beta1*mi[j] + (1-o.Beta1)*gj
+			vi[j] = o.Beta2*vi[j] + (1-o.Beta2)*gj*gj
+			mHat := mi[j] / bc1
+			vHat := vi[j] / bc2
+			p.Data[j] -= o.LR * mHat / (math.Sqrt(vHat) + o.Epsilon)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"feddrl/internal/rng"
+	"feddrl/internal/tensor"
+)
+
+// Dropout randomly zeroes activations during training and rescales the
+// survivors by 1/(1−p) (inverted dropout), so evaluation needs no
+// rescaling. The paper's client models do not use dropout; the layer
+// exists for the library's extension surface (custom client models via
+// ModelFactory) and is exercised by the ablation-style tests.
+type Dropout struct {
+	P float64
+
+	r    *rng.RNG
+	mask []bool
+}
+
+// NewDropout returns a dropout layer with drop probability p in [0, 1).
+func NewDropout(r *rng.RNG, p float64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: Dropout p %v out of [0,1)", p))
+	}
+	return &Dropout{P: p, r: r}
+}
+
+// Forward applies dropout when train is true and is the identity
+// otherwise.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := x.Clone()
+	if !train || d.P == 0 {
+		d.mask = nil
+		return out
+	}
+	if cap(d.mask) < len(out.Data) {
+		d.mask = make([]bool, len(out.Data))
+	}
+	d.mask = d.mask[:len(out.Data)]
+	scale := 1 / (1 - d.P)
+	for i := range out.Data {
+		if d.r.Float64() < d.P {
+			out.Data[i] = 0
+			d.mask[i] = false
+		} else {
+			out.Data[i] *= scale
+			d.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward routes gradients through the surviving units.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	out := grad.Clone()
+	if d.mask == nil {
+		return out
+	}
+	if len(d.mask) != len(grad.Data) {
+		panic("nn: Dropout.Backward shape mismatch with Forward")
+	}
+	scale := 1 / (1 - d.P)
+	for i := range out.Data {
+		if d.mask[i] {
+			out.Data[i] *= scale
+		} else {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params returns no parameters.
+func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads returns no gradients.
+func (d *Dropout) Grads() []*tensor.Tensor { return nil }
+
+// BatchNorm1D normalizes each feature over the batch during training and
+// tracks running statistics for evaluation. It carries learnable scale
+// (gamma) and shift (beta) parameters, which — like all parameters —
+// travel in the flat vector exchanged with the FL server. (FedBN, cited
+// as related work [14], keeps BN parameters local; this implementation
+// aggregates them like any other weight, which is the vanilla-FL
+// behaviour the paper compares against.)
+type BatchNorm1D struct {
+	Dim      int
+	Momentum float64
+	Eps      float64
+
+	Gamma, Beta   *tensor.Tensor
+	dGamma, dBeta *tensor.Tensor
+
+	// Running statistics used at evaluation time. They are state, not
+	// parameters: they do not appear in Params (matching the common
+	// convention that only gradient-bearing tensors are aggregated).
+	RunMean, RunVar []float64
+
+	// Cached forward state.
+	xhat    *tensor.Tensor
+	std     []float64
+	lastFwd bool
+}
+
+// NewBatchNorm1D returns a batch-norm layer over dim features.
+func NewBatchNorm1D(dim int) *BatchNorm1D {
+	if dim <= 0 {
+		panic("nn: BatchNorm1D with non-positive dim")
+	}
+	bn := &BatchNorm1D{
+		Dim: dim, Momentum: 0.9, Eps: 1e-5,
+		Gamma: tensor.New(1, dim), Beta: tensor.New(1, dim),
+		dGamma: tensor.New(1, dim), dBeta: tensor.New(1, dim),
+		RunMean: make([]float64, dim), RunVar: make([]float64, dim),
+	}
+	for i := range bn.Gamma.Data {
+		bn.Gamma.Data[i] = 1
+		bn.RunVar[i] = 1
+	}
+	return bn
+}
+
+// Forward normalizes per feature: batch statistics in training, running
+// statistics in evaluation.
+func (bn *BatchNorm1D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Cols() != bn.Dim {
+		panic(fmt.Sprintf("nn: BatchNorm1D.Forward width %d, want %d", x.Cols(), bn.Dim))
+	}
+	batch := x.Rows()
+	out := tensor.New(batch, bn.Dim)
+	bn.lastFwd = train && batch > 1
+	if !bn.lastFwd {
+		for i := 0; i < batch; i++ {
+			xr, or := x.Row(i), out.Row(i)
+			for j := 0; j < bn.Dim; j++ {
+				xh := (xr[j] - bn.RunMean[j]) / math.Sqrt(bn.RunVar[j]+bn.Eps)
+				or[j] = bn.Gamma.Data[j]*xh + bn.Beta.Data[j]
+			}
+		}
+		return out
+	}
+	mean := make([]float64, bn.Dim)
+	variance := make([]float64, bn.Dim)
+	for i := 0; i < batch; i++ {
+		for j, v := range x.Row(i) {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(batch)
+	}
+	for i := 0; i < batch; i++ {
+		for j, v := range x.Row(i) {
+			d := v - mean[j]
+			variance[j] += d * d
+		}
+	}
+	for j := range variance {
+		variance[j] /= float64(batch)
+	}
+	bn.std = make([]float64, bn.Dim)
+	bn.xhat = tensor.New(batch, bn.Dim)
+	for j := 0; j < bn.Dim; j++ {
+		bn.std[j] = math.Sqrt(variance[j] + bn.Eps)
+		bn.RunMean[j] = bn.Momentum*bn.RunMean[j] + (1-bn.Momentum)*mean[j]
+		bn.RunVar[j] = bn.Momentum*bn.RunVar[j] + (1-bn.Momentum)*variance[j]
+	}
+	for i := 0; i < batch; i++ {
+		xr, or, xh := x.Row(i), out.Row(i), bn.xhat.Row(i)
+		for j := 0; j < bn.Dim; j++ {
+			xh[j] = (xr[j] - mean[j]) / bn.std[j]
+			or[j] = bn.Gamma.Data[j]*xh[j] + bn.Beta.Data[j]
+		}
+	}
+	return out
+}
+
+// Backward computes the full batch-norm gradient (including the batch
+// statistics' dependence on the input).
+func (bn *BatchNorm1D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if !bn.lastFwd {
+		// Evaluation-mode backward: treat running stats as constants.
+		out := grad.Clone()
+		for i := 0; i < out.Rows(); i++ {
+			or := out.Row(i)
+			for j := 0; j < bn.Dim; j++ {
+				or[j] *= bn.Gamma.Data[j] / math.Sqrt(bn.RunVar[j]+bn.Eps)
+			}
+		}
+		return out
+	}
+	batch := grad.Rows()
+	if bn.xhat == nil || bn.xhat.Rows() != batch {
+		panic("nn: BatchNorm1D.Backward shape mismatch with Forward")
+	}
+	n := float64(batch)
+	dx := tensor.New(batch, bn.Dim)
+	// Per-feature sums.
+	sumDy := make([]float64, bn.Dim)
+	sumDyXhat := make([]float64, bn.Dim)
+	for i := 0; i < batch; i++ {
+		gr, xh := grad.Row(i), bn.xhat.Row(i)
+		for j := 0; j < bn.Dim; j++ {
+			sumDy[j] += gr[j]
+			sumDyXhat[j] += gr[j] * xh[j]
+		}
+	}
+	for j := 0; j < bn.Dim; j++ {
+		bn.dBeta.Data[j] += sumDy[j]
+		bn.dGamma.Data[j] += sumDyXhat[j]
+	}
+	for i := 0; i < batch; i++ {
+		gr, xh, dr := grad.Row(i), bn.xhat.Row(i), dx.Row(i)
+		for j := 0; j < bn.Dim; j++ {
+			dr[j] = bn.Gamma.Data[j] / (n * bn.std[j]) *
+				(n*gr[j] - sumDy[j] - xh[j]*sumDyXhat[j])
+		}
+	}
+	return dx
+}
+
+// Params returns [Gamma, Beta].
+func (bn *BatchNorm1D) Params() []*tensor.Tensor { return []*tensor.Tensor{bn.Gamma, bn.Beta} }
+
+// Grads returns [dGamma, dBeta].
+func (bn *BatchNorm1D) Grads() []*tensor.Tensor { return []*tensor.Tensor{bn.dGamma, bn.dBeta} }

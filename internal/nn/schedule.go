@@ -1,0 +1,72 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scheduler adjusts a learning rate over communication rounds. The paper
+// holds lr fixed at 0.01; schedulers are part of the library surface so
+// downstream experiments can study decayed variants (a common FL
+// extension), and the ablation benches use them.
+type Scheduler interface {
+	// LR returns the learning rate for round t (0-based).
+	LR(t int) float64
+}
+
+// ConstantLR returns the same rate every round.
+type ConstantLR struct{ Rate float64 }
+
+// LR implements Scheduler.
+func (c ConstantLR) LR(t int) float64 { return c.Rate }
+
+// StepLR multiplies the base rate by Gamma every StepSize rounds.
+type StepLR struct {
+	Base     float64
+	Gamma    float64
+	StepSize int
+}
+
+// NewStepLR builds a step scheduler; gamma in (0,1], stepSize positive.
+func NewStepLR(base, gamma float64, stepSize int) StepLR {
+	if base <= 0 || gamma <= 0 || gamma > 1 || stepSize <= 0 {
+		panic(fmt.Sprintf("nn: invalid StepLR(%v,%v,%d)", base, gamma, stepSize))
+	}
+	return StepLR{Base: base, Gamma: gamma, StepSize: stepSize}
+}
+
+// LR implements Scheduler.
+func (s StepLR) LR(t int) float64 {
+	if t < 0 {
+		t = 0
+	}
+	return s.Base * math.Pow(s.Gamma, float64(t/s.StepSize))
+}
+
+// CosineLR anneals from Base to Min over Horizon rounds, then stays at
+// Min.
+type CosineLR struct {
+	Base    float64
+	Min     float64
+	Horizon int
+}
+
+// NewCosineLR builds a cosine scheduler.
+func NewCosineLR(base, min float64, horizon int) CosineLR {
+	if base <= 0 || min < 0 || min > base || horizon <= 0 {
+		panic(fmt.Sprintf("nn: invalid CosineLR(%v,%v,%d)", base, min, horizon))
+	}
+	return CosineLR{Base: base, Min: min, Horizon: horizon}
+}
+
+// LR implements Scheduler.
+func (c CosineLR) LR(t int) float64 {
+	if t < 0 {
+		t = 0
+	}
+	if t >= c.Horizon {
+		return c.Min
+	}
+	frac := float64(t) / float64(c.Horizon)
+	return c.Min + 0.5*(c.Base-c.Min)*(1+math.Cos(math.Pi*frac))
+}

@@ -1,0 +1,182 @@
+package partition
+
+import (
+	"fmt"
+	"strings"
+
+	"feddrl/internal/dataset"
+	"feddrl/internal/mathx"
+)
+
+// Stats summarizes an assignment, backing Table 2 of the paper (which
+// non-IID properties each partitioner exhibits) and the Figure 4
+// illustration.
+type Stats struct {
+	Method       string
+	NumClients   int
+	Coverage     float64 // fraction of dataset samples assigned
+	Disjoint     bool    // true when no sample is assigned twice
+	Counts       []int   // samples per client
+	LabelsHeld   []int   // distinct labels per client
+	LabelMatrix  [][]int // [client][class] sample counts
+	QuantityCV   float64 // coefficient of variation of per-client counts
+	MeanLabels   float64
+	ClusterScore float64 // label-overlap within vs across groups (clustered methods; 0 otherwise)
+}
+
+// ComputeStats analyses an assignment against its dataset.
+func ComputeStats(d *dataset.Dataset, a *Assignment) Stats {
+	s := Stats{
+		Method:     a.Method,
+		NumClients: a.NumClients(),
+		Counts:     a.Counts(),
+		Disjoint:   true,
+	}
+	seen := make([]bool, d.N)
+	assigned := 0
+	s.LabelMatrix = make([][]int, a.NumClients())
+	s.LabelsHeld = make([]int, a.NumClients())
+	for k, idxs := range a.ClientIndices {
+		s.LabelMatrix[k] = make([]int, d.NumClasses)
+		for _, i := range idxs {
+			if seen[i] {
+				s.Disjoint = false
+			}
+			seen[i] = true
+			assigned++
+			s.LabelMatrix[k][d.Y[i]]++
+		}
+		for _, c := range s.LabelMatrix[k] {
+			if c > 0 {
+				s.LabelsHeld[k]++
+			}
+		}
+	}
+	s.Coverage = float64(assigned) / float64(d.N)
+	counts := make([]float64, len(s.Counts))
+	labels := make([]float64, len(s.LabelsHeld))
+	for i := range s.Counts {
+		counts[i] = float64(s.Counts[i])
+		labels[i] = float64(s.LabelsHeld[i])
+	}
+	if m := mathx.Mean(counts); m > 0 {
+		s.QuantityCV = mathx.Std(counts) / m
+	}
+	s.MeanLabels = mathx.Mean(labels)
+	s.ClusterScore = clusterScore(s.LabelMatrix, a)
+	return s
+}
+
+// clusterScore measures how much more label-overlap clients share within
+// their group than across groups (Jaccard over held label sets). It is 0
+// when the assignment has no group structure, positive under cluster skew.
+func clusterScore(mat [][]int, a *Assignment) float64 {
+	if a.NumGroups < 2 {
+		return 0
+	}
+	n := len(mat)
+	jac := func(i, j int) float64 {
+		inter, union := 0, 0
+		for c := range mat[i] {
+			hi, hj := mat[i][c] > 0, mat[j][c] > 0
+			if hi && hj {
+				inter++
+			}
+			if hi || hj {
+				union++
+			}
+		}
+		if union == 0 {
+			return 0
+		}
+		return float64(inter) / float64(union)
+	}
+	within, wn := 0.0, 0
+	across, an := 0.0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := jac(i, j)
+			if a.Clusters[i] == a.Clusters[j] {
+				within += v
+				wn++
+			} else {
+				across += v
+				an++
+			}
+		}
+	}
+	if wn == 0 || an == 0 {
+		return 0
+	}
+	return within/float64(wn) - across/float64(an)
+}
+
+// Characteristics reports the Table-2 style non-IID flags derived from
+// measured statistics rather than asserted by construction.
+type Characteristics struct {
+	ClusterSkew        bool
+	LabelSizeImbalance bool
+	QuantityImbalance  bool
+}
+
+// Characteristics derives the Table 2 row of the assignment. Thresholds:
+// quantity imbalance when per-client counts vary by more than 10% CV;
+// label-size imbalance when clients hold under 90% of all classes on
+// average; cluster skew when within-group label overlap exceeds
+// across-group overlap by a margin.
+func (s Stats) Characteristics(numClasses int) Characteristics {
+	return Characteristics{
+		ClusterSkew:        s.ClusterScore > 0.15,
+		LabelSizeImbalance: s.MeanLabels < 0.9*float64(numClasses),
+		QuantityImbalance:  s.QuantityCV > 0.10,
+	}
+}
+
+// ASCII renders a Figure-4 style illustration: one row per label, one
+// column per client, glyph area ∝ sample count.
+func ASCII(d *dataset.Dataset, a *Assignment) string {
+	s := ComputeStats(d, a)
+	maxCount := 1
+	for _, row := range s.LabelMatrix {
+		for _, c := range row {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+	}
+	glyphs := []byte(" .:oO@")
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s partition, %d clients x %d labels (glyph area ~ #samples, max %d)\n",
+		a.Method, a.NumClients(), d.NumClasses, maxCount)
+	b.WriteString("      ")
+	for k := 0; k < a.NumClients(); k++ {
+		fmt.Fprintf(&b, "%2d ", k%100)
+	}
+	b.WriteByte('\n')
+	for c := 0; c < d.NumClasses; c++ {
+		fmt.Fprintf(&b, "L%-4d ", c)
+		for k := 0; k < a.NumClients(); k++ {
+			n := s.LabelMatrix[k][c]
+			g := glyphs[0]
+			if n > 0 {
+				level := 1 + (len(glyphs)-2)*n/maxCount
+				if level >= len(glyphs) {
+					level = len(glyphs) - 1
+				}
+				g = glyphs[level]
+			}
+			b.WriteByte(' ')
+			b.WriteByte(g)
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	if a.NumGroups > 1 {
+		fmt.Fprintf(&b, "groups:")
+		for k := 0; k < a.NumClients(); k++ {
+			fmt.Fprintf(&b, " g%d", a.Clusters[k])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,374 @@
+// Package tensor implements the dense float64 tensors used as the data
+// substrate of the neural-network library. Only the operations needed by
+// the FedDRL reproduction are provided: construction and shape queries,
+// element access, matrix multiplication (with a goroutine-parallel path
+// for large batches), transpose, and the im2col/col2im lowering used by
+// the convolution layers.
+//
+// Tensors are row-major. A 2-D tensor of shape (r, c) stores element
+// (i, j) at Data[i*c+j]. Batched activations are 2-D: (batch, features).
+package tensor
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Tensor is a dense, row-major float64 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// New returns a zero tensor with the given shape. Every dimension must be
+// positive.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); its length must equal the shape's volume.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (need %d)", len(data), shape, n))
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
+}
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.Data) }
+
+// Dims returns the number of axes.
+func (t *Tensor) Dims() int { return len(t.Shape) }
+
+// Rows and Cols return the 2-D dimensions; they panic for non-2-D tensors.
+func (t *Tensor) Rows() int { t.want2D(); return t.Shape[0] }
+
+// Cols returns the number of columns of a 2-D tensor.
+func (t *Tensor) Cols() int { t.want2D(); return t.Shape[1] }
+
+func (t *Tensor) want2D() {
+	if len(t.Shape) != 2 {
+		panic(fmt.Sprintf("tensor: expected 2-D tensor, have shape %v", t.Shape))
+	}
+}
+
+// At returns element (i, j) of a 2-D tensor.
+func (t *Tensor) At(i, j int) float64 {
+	t.want2D()
+	return t.Data[i*t.Shape[1]+j]
+}
+
+// Set assigns element (i, j) of a 2-D tensor.
+func (t *Tensor) Set(i, j int, v float64) {
+	t.want2D()
+	t.Data[i*t.Shape[1]+j] = v
+}
+
+// Row returns a view (not a copy) of row i of a 2-D tensor.
+func (t *Tensor) Row(i int) []float64 {
+	t.want2D()
+	c := t.Shape[1]
+	return t.Data[i*c : (i+1)*c]
+}
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float64, len(t.Data))}
+	copy(c.Data, t.Data)
+	return c
+}
+
+// Zero sets all elements to 0.
+func (t *Tensor) Zero() {
+	for i := range t.Data {
+		t.Data[i] = 0
+	}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i, d := range t.Shape {
+		if o.Shape[i] != d {
+			return false
+		}
+	}
+	return true
+}
+
+// AddInPlace computes t ← t + o. Shapes must match.
+func (t *Tensor) AddInPlace(o *Tensor) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: AddInPlace shape mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	for i, v := range o.Data {
+		t.Data[i] += v
+	}
+}
+
+// ScaleInPlace computes t ← alpha * t.
+func (t *Tensor) ScaleInPlace(alpha float64) {
+	for i := range t.Data {
+		t.Data[i] *= alpha
+	}
+}
+
+// AxpyInPlace computes t ← t + alpha * o. Shapes must match.
+func (t *Tensor) AxpyInPlace(alpha float64, o *Tensor) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: AxpyInPlace shape mismatch %v vs %v", t.Shape, o.Shape))
+	}
+	for i, v := range o.Data {
+		t.Data[i] += alpha * v
+	}
+}
+
+// parallelRowThreshold is the matrix volume (rows*inner*cols) above which
+// MatMulInto fans work out across GOMAXPROCS goroutines. Chosen so that
+// the tiny matrices of the DRL policy/value nets stay single-threaded
+// (goroutine overhead dominates below ~64k multiply-adds).
+const parallelVolumeThreshold = 1 << 16
+
+// MatMul returns a·b for 2-D tensors a (m×k) and b (k×n).
+func MatMul(a, b *Tensor) *Tensor {
+	out := New(a.Rows(), b.Cols())
+	MatMulInto(out, a, b)
+	return out
+}
+
+// MatMulInto computes dst ← a·b. dst must be m×n and distinct from a and b.
+func MatMulInto(dst, a, b *Tensor) {
+	m, ka := a.Rows(), a.Cols()
+	kb, n := b.Rows(), b.Cols()
+	if ka != kb {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %d vs %d", ka, kb))
+	}
+	if dst.Rows() != m || dst.Cols() != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want (%d,%d)", dst.Shape, m, n))
+	}
+	if dst == a || dst == b {
+		panic("tensor: MatMulInto dst aliases an input")
+	}
+	work := func(r0, r1 int) {
+		ad, bd, dd := a.Data, b.Data, dst.Data
+		for i := r0; i < r1; i++ {
+			di := dd[i*n : (i+1)*n]
+			for x := range di {
+				di[x] = 0
+			}
+			ai := ad[i*ka : (i+1)*ka]
+			for k, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bk := bd[k*n : (k+1)*n]
+				for j, bv := range bk {
+					di[j] += av * bv
+				}
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || m*ka*n < parallelVolumeThreshold || m < 2*workers {
+		work(0, m)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for r0 := 0; r0 < m; r0 += chunk {
+		r1 := r0 + chunk
+		if r1 > m {
+			r1 = m
+		}
+		wg.Add(1)
+		go func(r0, r1 int) {
+			defer wg.Done()
+			work(r0, r1)
+		}(r0, r1)
+	}
+	wg.Wait()
+}
+
+// MatMulATInto computes dst ← aᵀ·b for a (m×k), b (m×n), dst (k×n).
+// Used by Dense backward for weight gradients without materializing aᵀ.
+func MatMulATInto(dst, a, b *Tensor) {
+	m, k := a.Rows(), a.Cols()
+	mb, n := b.Rows(), b.Cols()
+	if m != mb {
+		panic(fmt.Sprintf("tensor: MatMulAT outer dimension mismatch %d vs %d", m, mb))
+	}
+	if dst.Rows() != k || dst.Cols() != n {
+		panic(fmt.Sprintf("tensor: MatMulATInto dst shape %v, want (%d,%d)", dst.Shape, k, n))
+	}
+	dst.Zero()
+	ad, bd, dd := a.Data, b.Data, dst.Data
+	for i := 0; i < m; i++ {
+		ai := ad[i*k : (i+1)*k]
+		bi := bd[i*n : (i+1)*n]
+		for p, av := range ai {
+			if av == 0 {
+				continue
+			}
+			dp := dd[p*n : (p+1)*n]
+			for j, bv := range bi {
+				dp[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulBTInto computes dst ← a·bᵀ for a (m×k), b (n×k), dst (m×n).
+// Used by Dense backward for input gradients without materializing bᵀ.
+func MatMulBTInto(dst, a, b *Tensor) {
+	m, k := a.Rows(), a.Cols()
+	n, kb := b.Rows(), b.Cols()
+	if k != kb {
+		panic(fmt.Sprintf("tensor: MatMulBT inner dimension mismatch %d vs %d", k, kb))
+	}
+	if dst.Rows() != m || dst.Cols() != n {
+		panic(fmt.Sprintf("tensor: MatMulBTInto dst shape %v, want (%d,%d)", dst.Shape, m, n))
+	}
+	ad, bd, dd := a.Data, b.Data, dst.Data
+	for i := 0; i < m; i++ {
+		ai := ad[i*k : (i+1)*k]
+		di := dd[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := bd[j*k : (j+1)*k]
+			sum := 0.0
+			for p, av := range ai {
+				sum += av * bj[p]
+			}
+			di[j] = sum
+		}
+	}
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func (t *Tensor) Transpose() *Tensor {
+	r, c := t.Rows(), t.Cols()
+	out := New(c, r)
+	for i := 0; i < r; i++ {
+		row := t.Data[i*c : (i+1)*c]
+		for j, v := range row {
+			out.Data[j*r+i] = v
+		}
+	}
+	return out
+}
+
+// ConvGeom describes a 2-D convolution geometry shared by Im2Col/Col2Im
+// and the nn.Conv2D layer.
+type ConvGeom struct {
+	InC, InH, InW int // input channels and spatial size
+	K             int // square kernel size
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height of the convolution.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.K)/g.Stride + 1 }
+
+// OutW returns the output width of the convolution.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.K)/g.Stride + 1 }
+
+// Validate panics if the geometry is inconsistent.
+func (g ConvGeom) Validate() {
+	if g.InC <= 0 || g.InH <= 0 || g.InW <= 0 || g.K <= 0 || g.Stride <= 0 || g.Pad < 0 {
+		panic(fmt.Sprintf("tensor: invalid conv geometry %+v", g))
+	}
+	if g.OutH() <= 0 || g.OutW() <= 0 {
+		panic(fmt.Sprintf("tensor: conv geometry %+v yields empty output", g))
+	}
+}
+
+// Im2Col lowers one image (flattened CHW layout, len = InC*InH*InW) into a
+// column matrix of shape (OutH*OutW, InC*K*K) so that convolution becomes
+// a matrix product with the (InC*K*K, OutC) kernel matrix. cols must have
+// that shape; it is overwritten.
+func Im2Col(g ConvGeom, img []float64, cols *Tensor) {
+	g.Validate()
+	if len(img) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2Col image length %d, want %d", len(img), g.InC*g.InH*g.InW))
+	}
+	oh, ow := g.OutH(), g.OutW()
+	patch := g.InC * g.K * g.K
+	if cols.Rows() != oh*ow || cols.Cols() != patch {
+		panic(fmt.Sprintf("tensor: Im2Col cols shape %v, want (%d,%d)", cols.Shape, oh*ow, patch))
+	}
+	cd := cols.Data
+	idx := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			baseY := oy*g.Stride - g.Pad
+			baseX := ox*g.Stride - g.Pad
+			for c := 0; c < g.InC; c++ {
+				chanOff := c * g.InH * g.InW
+				for ky := 0; ky < g.K; ky++ {
+					y := baseY + ky
+					for kx := 0; kx < g.K; kx++ {
+						x := baseX + kx
+						if y >= 0 && y < g.InH && x >= 0 && x < g.InW {
+							cd[idx] = img[chanOff+y*g.InW+x]
+						} else {
+							cd[idx] = 0
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im accumulates the column-matrix gradient back into an image
+// gradient (the adjoint of Im2Col). img is accumulated into, not zeroed.
+func Col2Im(g ConvGeom, cols *Tensor, img []float64) {
+	g.Validate()
+	if len(img) != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Col2Im image length %d, want %d", len(img), g.InC*g.InH*g.InW))
+	}
+	oh, ow := g.OutH(), g.OutW()
+	patch := g.InC * g.K * g.K
+	if cols.Rows() != oh*ow || cols.Cols() != patch {
+		panic(fmt.Sprintf("tensor: Col2Im cols shape %v, want (%d,%d)", cols.Shape, oh*ow, patch))
+	}
+	cd := cols.Data
+	idx := 0
+	for oy := 0; oy < oh; oy++ {
+		for ox := 0; ox < ow; ox++ {
+			baseY := oy*g.Stride - g.Pad
+			baseX := ox*g.Stride - g.Pad
+			for c := 0; c < g.InC; c++ {
+				chanOff := c * g.InH * g.InW
+				for ky := 0; ky < g.K; ky++ {
+					y := baseY + ky
+					for kx := 0; kx < g.K; kx++ {
+						x := baseX + kx
+						if y >= 0 && y < g.InH && x >= 0 && x < g.InW {
+							img[chanOff+y*g.InW+x] += cd[idx]
+						}
+						idx++
+					}
+				}
+			}
+		}
+	}
+}

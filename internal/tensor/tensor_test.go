@@ -1,0 +1,390 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"feddrl/internal/rng"
+)
+
+func TestNewAndShape(t *testing.T) {
+	a := New(3, 4)
+	if a.Len() != 12 || a.Dims() != 2 || a.Rows() != 3 || a.Cols() != 4 {
+		t.Fatalf("shape bookkeeping wrong: %+v", a)
+	}
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("New must zero-initialize")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with zero dimension did not panic")
+		}
+	}()
+	New(3, 0)
+}
+
+func TestFromSlice(t *testing.T) {
+	d := []float64{1, 2, 3, 4, 5, 6}
+	a := FromSlice(d, 2, 3)
+	if a.At(1, 2) != 6 || a.At(0, 0) != 1 {
+		t.Fatalf("FromSlice indexing wrong")
+	}
+	a.Set(0, 1, 9)
+	if d[1] != 9 {
+		t.Fatal("FromSlice must not copy")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromSlice with wrong volume did not panic")
+		}
+	}()
+	FromSlice(d, 2, 2)
+}
+
+func TestRowView(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	r := a.Row(1)
+	r[0] = 99
+	if a.At(1, 0) != 99 {
+		t.Fatal("Row must be a view")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := a.Clone()
+	b.Set(0, 0, 42)
+	if a.At(0, 0) != 1 {
+		t.Fatal("Clone shares storage")
+	}
+	if !a.SameShape(b) {
+		t.Fatal("Clone changed shape")
+	}
+}
+
+func TestInPlaceOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float64{10, 20, 30, 40}, 2, 2)
+	a.AddInPlace(b)
+	if a.At(1, 1) != 44 {
+		t.Fatalf("AddInPlace = %v", a.Data)
+	}
+	a.ScaleInPlace(0.5)
+	if a.At(0, 0) != 5.5 {
+		t.Fatalf("ScaleInPlace = %v", a.Data)
+	}
+	a.AxpyInPlace(2, b)
+	if a.At(0, 1) != 11+40 {
+		t.Fatalf("AxpyInPlace = %v", a.Data)
+	}
+	a.Zero()
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("Zero failed")
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch AddInPlace did not panic")
+		}
+	}()
+	a.AddInPlace(New(1, 4))
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float64{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float64{58, 64, 139, 154}
+	for i, v := range c.Data {
+		if v != want[i] {
+			t.Fatalf("MatMul = %v, want %v", c.Data, want)
+		}
+	}
+}
+
+func TestMatMulIdentity(t *testing.T) {
+	r := rng.New(1)
+	a := New(5, 5)
+	for i := range a.Data {
+		a.Data[i] = r.Normal(0, 1)
+	}
+	id := New(5, 5)
+	for i := 0; i < 5; i++ {
+		id.Set(i, i, 1)
+	}
+	c := MatMul(a, id)
+	for i, v := range c.Data {
+		if math.Abs(v-a.Data[i]) > 1e-12 {
+			t.Fatal("A·I != A")
+		}
+	}
+}
+
+// naiveMatMul is the reference implementation used to validate the
+// optimized / parallel kernels.
+func naiveMatMul(a, b *Tensor) *Tensor {
+	m, k, n := a.Rows(), a.Cols(), b.Cols()
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			sum := 0.0
+			for p := 0; p < k; p++ {
+				sum += a.At(i, p) * b.At(p, j)
+			}
+			out.Set(i, j, sum)
+		}
+	}
+	return out
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m, k, n := 1+r.Intn(12), 1+r.Intn(12), 1+r.Intn(12)
+		a, b := New(m, k), New(k, n)
+		for i := range a.Data {
+			a.Data[i] = r.Normal(0, 2)
+		}
+		for i := range b.Data {
+			b.Data[i] = r.Normal(0, 2)
+		}
+		got, want := MatMul(a, b), naiveMatMul(a, b)
+		for i := range got.Data {
+			if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulParallelPath(t *testing.T) {
+	// Big enough to exceed parallelVolumeThreshold.
+	r := rng.New(9)
+	a, b := New(128, 64), New(64, 32)
+	for i := range a.Data {
+		a.Data[i] = r.Normal(0, 1)
+	}
+	for i := range b.Data {
+		b.Data[i] = r.Normal(0, 1)
+	}
+	got, want := MatMul(a, b), naiveMatMul(a, b)
+	for i := range got.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-9 {
+			t.Fatal("parallel MatMul diverges from naive")
+		}
+	}
+}
+
+func TestMatMulPanics(t *testing.T) {
+	a, b := New(2, 3), New(4, 2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("inner mismatch did not panic")
+			}
+		}()
+		MatMul(a, b)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("aliased dst did not panic")
+			}
+		}()
+		sq := New(3, 3)
+		MatMulInto(sq, sq, New(3, 3))
+	}()
+}
+
+func TestMatMulATMatches(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m, k, n := 1+r.Intn(10), 1+r.Intn(10), 1+r.Intn(10)
+		a, b := New(m, k), New(m, n)
+		for i := range a.Data {
+			a.Data[i] = r.Normal(0, 1)
+		}
+		for i := range b.Data {
+			b.Data[i] = r.Normal(0, 1)
+		}
+		dst := New(k, n)
+		MatMulATInto(dst, a, b)
+		want := naiveMatMul(a.Transpose(), b)
+		for i := range dst.Data {
+			if math.Abs(dst.Data[i]-want.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulBTMatches(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m, k, n := 1+r.Intn(10), 1+r.Intn(10), 1+r.Intn(10)
+		a, b := New(m, k), New(n, k)
+		for i := range a.Data {
+			a.Data[i] = r.Normal(0, 1)
+		}
+		for i := range b.Data {
+			b.Data[i] = r.Normal(0, 1)
+		}
+		dst := New(m, n)
+		MatMulBTInto(dst, a, b)
+		want := naiveMatMul(a, b.Transpose())
+		for i := range dst.Data {
+			if math.Abs(dst.Data[i]-want.Data[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	at := a.Transpose()
+	if at.Rows() != 3 || at.Cols() != 2 {
+		t.Fatalf("transpose shape %v", at.Shape)
+	}
+	if at.At(2, 1) != 6 || at.At(0, 1) != 4 {
+		t.Fatalf("transpose values wrong: %v", at.Data)
+	}
+	// (Aᵀ)ᵀ = A
+	back := at.Transpose()
+	for i := range a.Data {
+		if back.Data[i] != a.Data[i] {
+			t.Fatal("double transpose not identity")
+		}
+	}
+}
+
+func TestConvGeom(t *testing.T) {
+	g := ConvGeom{InC: 3, InH: 8, InW: 8, K: 3, Stride: 1, Pad: 1}
+	if g.OutH() != 8 || g.OutW() != 8 {
+		t.Fatalf("same-pad geometry wrong: %d x %d", g.OutH(), g.OutW())
+	}
+	g2 := ConvGeom{InC: 1, InH: 5, InW: 5, K: 3, Stride: 2, Pad: 0}
+	if g2.OutH() != 2 || g2.OutW() != 2 {
+		t.Fatalf("strided geometry wrong: %d x %d", g2.OutH(), g2.OutW())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid geometry did not panic")
+		}
+	}()
+	ConvGeom{InC: 1, InH: 2, InW: 2, K: 5, Stride: 1, Pad: 0}.Validate()
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// 1x1 kernel, stride 1, no pad: columns are exactly the pixels.
+	g := ConvGeom{InC: 1, InH: 3, InW: 3, K: 1, Stride: 1, Pad: 0}
+	img := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	cols := New(9, 1)
+	Im2Col(g, img, cols)
+	for i, v := range img {
+		if cols.Data[i] != v {
+			t.Fatalf("1x1 im2col wrong: %v", cols.Data)
+		}
+	}
+}
+
+func TestIm2ColPaddingZeros(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 2, InW: 2, K: 3, Stride: 1, Pad: 1}
+	img := []float64{1, 2, 3, 4}
+	cols := New(g.OutH()*g.OutW(), g.InC*g.K*g.K)
+	Im2Col(g, img, cols)
+	// First output position (0,0) covers rows -1..1, cols -1..1; the
+	// top-left 2x2 of the patch is padding.
+	first := cols.Row(0)
+	want := []float64{0, 0, 0, 0, 1, 2, 0, 3, 4}
+	for i, v := range want {
+		if first[i] != v {
+			t.Fatalf("padded patch = %v, want %v", first, want)
+		}
+	}
+}
+
+func TestCol2ImIsAdjointOfIm2Col(t *testing.T) {
+	// The adjoint test: <im2col(x), y> == <x, col2im(y)> for random x, y.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		g := ConvGeom{
+			InC:    1 + r.Intn(3),
+			InH:    3 + r.Intn(5),
+			InW:    3 + r.Intn(5),
+			K:      1 + r.Intn(3),
+			Stride: 1 + r.Intn(2),
+			Pad:    r.Intn(2),
+		}
+		if g.OutH() <= 0 || g.OutW() <= 0 {
+			return true
+		}
+		n := g.InC * g.InH * g.InW
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = r.Normal(0, 1)
+		}
+		cols := New(g.OutH()*g.OutW(), g.InC*g.K*g.K)
+		Im2Col(g, x, cols)
+		y := New(g.OutH()*g.OutW(), g.InC*g.K*g.K)
+		for i := range y.Data {
+			y.Data[i] = r.Normal(0, 1)
+		}
+		lhs := 0.0
+		for i := range cols.Data {
+			lhs += cols.Data[i] * y.Data[i]
+		}
+		xGrad := make([]float64, n)
+		Col2Im(g, y, xGrad)
+		rhs := 0.0
+		for i := range x {
+			rhs += x[i] * xGrad[i]
+		}
+		return math.Abs(lhs-rhs) < 1e-9*(1+math.Abs(lhs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	r := rng.New(1)
+	a, m := New(64, 64), New(64, 64)
+	for i := range a.Data {
+		a.Data[i] = r.Normal(0, 1)
+	}
+	for i := range m.Data {
+		m.Data[i] = r.Normal(0, 1)
+	}
+	dst := New(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulInto(dst, a, m)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	g := ConvGeom{InC: 3, InH: 16, InW: 16, K: 3, Stride: 1, Pad: 1}
+	img := make([]float64, g.InC*g.InH*g.InW)
+	cols := New(g.OutH()*g.OutW(), g.InC*g.K*g.K)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(g, img, cols)
+	}
+}
