@@ -1,0 +1,29 @@
+# Tier-1 verification gate. `make verify` is what CI and pre-merge runs.
+GO ?= go
+
+.PHONY: verify vet build test race bench clean
+
+verify: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race coverage for the engine-facing packages: the worker pool itself,
+# the fl round loop's parallel paths, and the experiments grid fan-out
+# smoke (the full experiments suite under -race is minutes; the smoke
+# exercises the same concurrent machinery in seconds).
+race:
+	$(GO) test -race ./internal/engine/... ./internal/fl/...
+	$(GO) test -race -run TestConcurrentFanOutSmoke ./internal/experiments/
+
+bench:
+	$(GO) test -bench=Engine -run TestEngineBenchJSON -benchtime=1x .
+
+clean:
+	$(GO) clean ./...

@@ -12,8 +12,10 @@ package feddrl
 // EXPERIMENTS.md.
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -229,6 +231,126 @@ func BenchmarkRewardAndState(b *testing.B) {
 		s := core.BuildState(cfg, lb, la, ns)
 		_ = core.RewardOf(cfg, lb)
 		_ = mathx.Sum(s)
+	}
+}
+
+// --- Engine benchmarks: the bounded-worker round loop -----------------
+
+// engineBenchFixture builds the fixed federation used by the engine
+// round-loop benchmarks: enough clients and data that local training
+// dominates, the regime where worker lanes pay off.
+func engineBenchFixture() (cfg RunConfig, mk func() []*Client, test *Dataset) {
+	spec := MNISTSim().Scaled(0.2)
+	train, test := Synthesize(spec, 1)
+	assign := ClusteredEqual(train, 8, 0.6, 2, 3, NewRNG(2))
+	factory := MLPFactory(train.Dim, []int{48}, train.NumClasses)
+	cfg = RunConfig{
+		Rounds: 2, K: 8,
+		Local:   LocalConfig{Epochs: 2, Batch: 10, LR: 0.03},
+		Factory: factory, Seed: 3,
+		EvalEvery: 1,
+	}
+	mk = func() []*Client { return BuildClients(train, assign.ClientIndices, factory, 3) }
+	return cfg, mk, test
+}
+
+// benchmarkEngineRoundLoop measures the full round loop (client
+// training, evaluation, aggregation) at a fixed engine width. Output is
+// identical at every width — only wall-clock may differ.
+func benchmarkEngineRoundLoop(b *testing.B, workers int) {
+	cfg, mk, test := engineBenchFixture()
+	cfg.Workers = workers
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		clients := mk()
+		b.StartTimer()
+		_ = Run(cfg, clients, test, FedAvg{})
+	}
+}
+
+func BenchmarkEngineRoundLoopSequential(b *testing.B) { benchmarkEngineRoundLoop(b, 1) }
+func BenchmarkEngineRoundLoopWorkers2(b *testing.B)   { benchmarkEngineRoundLoop(b, 2) }
+func BenchmarkEngineRoundLoopWorkers4(b *testing.B)   { benchmarkEngineRoundLoop(b, 4) }
+func BenchmarkEngineRoundLoopWorkersMax(b *testing.B) {
+	benchmarkEngineRoundLoop(b, runtime.GOMAXPROCS(0))
+}
+
+// TestEngineBenchJSON times the round loop at several engine widths and
+// writes BENCH_engine.json, the machine-readable record of the engine's
+// scaling on this host. On a single-core host the expected speedup is
+// ~1.0 by physics; the JSON records GOMAXPROCS so downstream tooling can
+// tell "no cores" from "no scaling".
+func TestEngineBenchJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing run")
+	}
+	cfg, mk, test := engineBenchFixture()
+	widths := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 1 && n != 2 && n != 4 {
+		widths = append(widths, n)
+	}
+	type caseJSON struct {
+		Workers   int     `json:"workers"`
+		NsPerRun  int64   `json:"ns_per_run"`
+		SpeedupVs float64 `json:"speedup_vs_sequential"`
+	}
+	measure := func(workers int) int64 {
+		c := cfg
+		c.Workers = workers
+		best := time.Duration(0)
+		const reps = 3
+		for r := 0; r < reps; r++ {
+			clients := mk()
+			start := time.Now()
+			_ = Run(c, clients, test, FedAvg{})
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best.Nanoseconds()
+	}
+	cases := make([]caseJSON, 0, len(widths))
+	var seqNs int64
+	for _, w := range widths {
+		ns := measure(w)
+		if w == 1 {
+			seqNs = ns
+		}
+		sp := 0.0
+		if ns > 0 && seqNs > 0 {
+			sp = float64(seqNs) / float64(ns)
+		}
+		cases = append(cases, caseJSON{Workers: w, NsPerRun: ns, SpeedupVs: sp})
+	}
+	doc := struct {
+		Benchmark  string     `json:"benchmark"`
+		GOMAXPROCS int        `json:"gomaxprocs"`
+		NumCPU     int        `json:"num_cpu"`
+		Rounds     int        `json:"rounds"`
+		Clients    int        `json:"clients"`
+		Cases      []caseJSON `json:"cases"`
+	}{
+		Benchmark:  "engine_round_loop",
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Rounds:     cfg.Rounds,
+		Clients:    cfg.K,
+		Cases:      cases,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_engine.json", append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("BENCH_engine.json: %s", buf)
+	// Sanity: every width must have produced a measurement.
+	for _, c := range cases {
+		if c.NsPerRun <= 0 {
+			t.Fatalf("workers=%d: no measurement", c.Workers)
+		}
 	}
 }
 

@@ -4,12 +4,14 @@
 //
 // Example:
 //
-//	fedsim -dataset mnist -partition CE -method FedDRL -clients 10 -k 10 -rounds 30
+//	fedsim -dataset mnist -partition CE -method FedDRL -clients 10 -k 10 -rounds 30 -workers 4
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -17,20 +19,33 @@ import (
 )
 
 func main() {
-	dsName := flag.String("dataset", "mnist", "dataset: mnist, fashion or cifar100")
-	partName := flag.String("partition", "CE", "partition: PA, CE, CN, Equal or Non-equal")
-	method := flag.String("method", "FedDRL", "method: SingleSet, FedAvg, FedProx or FedDRL")
-	clients := flag.Int("clients", 10, "number of clients N")
-	k := flag.Int("k", 10, "participating clients per round K")
-	rounds := flag.Int("rounds", 20, "communication rounds")
-	delta := flag.Float64("delta", 0.6, "cluster-skew level (CE/CN)")
-	dataScale := flag.Float64("datascale", 0.3, "dataset size multiplier")
-	epochs := flag.Int("epochs", 3, "local epochs E")
-	lr := flag.Float64("lr", 0.03, "local learning rate")
-	exploreStd := flag.Float64("explorestd", 0.05, "FedDRL exploration noise scale")
-	exploreDecay := flag.Float64("exploredecay", 0.99, "FedDRL exploration decay per action")
-	seed := flag.Uint64("seed", 1, "run seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entrypoint: flags in, exit code out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("fedsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dsName := fs.String("dataset", "mnist", "dataset: mnist, fashion or cifar100")
+	partName := fs.String("partition", "CE", "partition: PA, CE, CN, Equal or Non-equal")
+	method := fs.String("method", "FedDRL", "method: SingleSet, FedAvg, FedProx or FedDRL")
+	clients := fs.Int("clients", 10, "number of clients N")
+	k := fs.Int("k", 10, "participating clients per round K")
+	rounds := fs.Int("rounds", 20, "communication rounds")
+	delta := fs.Float64("delta", 0.6, "cluster-skew level (CE/CN)")
+	dataScale := fs.Float64("datascale", 0.3, "dataset size multiplier")
+	epochs := fs.Int("epochs", 3, "local epochs E")
+	lr := fs.Float64("lr", 0.03, "local learning rate")
+	exploreStd := fs.Float64("explorestd", 0.05, "FedDRL exploration noise scale")
+	exploreDecay := fs.Float64("exploredecay", 0.99, "FedDRL exploration decay per action")
+	workers := fs.Int("workers", 0, "engine worker lanes (0 = sequential, -1 = GOMAXPROCS); results are identical at any width")
+	seed := fs.Uint64("seed", 1, "run seed")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	var spec feddrl.DataSpec
 	switch *dsName {
@@ -41,8 +56,8 @@ func main() {
 	case "cifar100":
 		spec = feddrl.CIFAR100Sim()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dsName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown dataset %q\n", *dsName)
+		return 2
 	}
 	spec = spec.Scaled(*dataScale)
 	train, test := feddrl.Synthesize(spec, *seed)
@@ -65,8 +80,8 @@ func main() {
 	case "Non-equal":
 		assign = feddrl.NonEqualShards(train, *clients, 10, 6, 14, r)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown partition %q\n", *partName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown partition %q\n", *partName)
+		return 2
 	}
 
 	factory := feddrl.MLPFactory(train.Dim, []int{48}, train.NumClasses)
@@ -74,12 +89,18 @@ func main() {
 	if kk > *clients {
 		kk = *clients
 	}
+	engineWorkers := *workers
+	if engineWorkers < 0 {
+		engineWorkers = 0 // RunConfig: 0 + Parallel resolves to GOMAXPROCS
+	}
 	cfg := feddrl.RunConfig{
-		Rounds:  *rounds,
-		K:       kk,
-		Local:   feddrl.LocalConfig{Epochs: *epochs, Batch: 10, LR: *lr},
-		Factory: factory,
-		Seed:    *seed + 2,
+		Rounds:   *rounds,
+		K:        kk,
+		Local:    feddrl.LocalConfig{Epochs: *epochs, Batch: 10, LR: *lr},
+		Factory:  factory,
+		Seed:     *seed + 2,
+		Workers:  engineWorkers,
+		Parallel: *workers < 0,
 	}
 
 	var res *feddrl.Result
@@ -102,16 +123,17 @@ func main() {
 		drlCfg.Seed = *seed + 4
 		res = feddrl.Run(cfg, feddrl.BuildClients(train, assign.ClientIndices, factory, *seed+3), test, feddrl.NewFedDRL(feddrl.NewAgent(drlCfg)))
 	default:
-		fmt.Fprintf(os.Stderr, "unknown method %q\n", *method)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown method %q\n", *method)
+		return 2
 	}
 
-	fmt.Printf("%s on %s/%s, N=%d K=%d rounds=%d\n", res.Method, spec.Name, *partName, *clients, kk, *rounds)
-	fmt.Println(strings.Repeat("-", 48))
+	fmt.Fprintf(stdout, "%s on %s/%s, N=%d K=%d rounds=%d\n", res.Method, spec.Name, *partName, *clients, kk, *rounds)
+	fmt.Fprintln(stdout, strings.Repeat("-", 48))
 	for i, acc := range res.Accuracy {
-		fmt.Printf("round %3d  acc %6.2f%%\n", res.AccRounds[i], acc)
+		fmt.Fprintf(stdout, "round %3d  acc %6.2f%%\n", res.AccRounds[i], acc)
 	}
-	fmt.Println(strings.Repeat("-", 48))
-	fmt.Printf("best %.2f%%  final %.2f%%  params %d\n", res.Best(), res.Final(), res.NumParam)
-	fmt.Printf("mean decision time %v, mean aggregation time %v\n", res.MeanDecisionTime(), res.MeanAggTime())
+	fmt.Fprintln(stdout, strings.Repeat("-", 48))
+	fmt.Fprintf(stdout, "best %.2f%%  final %.2f%%  params %d\n", res.Best(), res.Final(), res.NumParam)
+	fmt.Fprintf(stdout, "mean decision time %v, mean aggregation time %v\n", res.MeanDecisionTime(), res.MeanAggTime())
+	return 0
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// runArgs invokes the CLI entrypoint and returns stdout.
+func runArgs(t *testing.T, args ...string) string {
+	t.Helper()
+	var out, errOut bytes.Buffer
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("run(%v) exited %d: %s", args, code, errOut.String())
+	}
+	return out.String()
+}
+
+// tiny holds the flags that make a run finish in well under a second.
+var tiny = []string{"-datascale", "0.05", "-rounds", "2", "-clients", "4", "-k", "2", "-epochs", "1"}
+
+func TestFedsimSmoke(t *testing.T) {
+	for _, method := range []string{"SingleSet", "FedAvg", "FedProx", "FedDRL"} {
+		out := runArgs(t, append([]string{"-method", method}, tiny...)...)
+		if !strings.Contains(out, "best ") || !strings.Contains(out, "rounds=2") {
+			t.Fatalf("%s: unexpected output:\n%s", method, out)
+		}
+	}
+}
+
+// TestFedsimWorkersDeterminism checks the -workers flag end to end: the
+// printed report must be byte-identical at any engine width.
+func TestFedsimWorkersDeterminism(t *testing.T) {
+	args := append([]string{"-method", "FedAvg"}, tiny...)
+	want := runArgs(t, append(args, "-workers", "0")...)
+	for _, w := range []string{"2", "4", "-1"} {
+		got := runArgs(t, append(args, "-workers", w)...)
+		// Timing lines legitimately differ; compare everything above them.
+		trim := func(s string) string { return s[:strings.LastIndex(s, "mean decision time")] }
+		if trim(got) != trim(want) {
+			t.Fatalf("-workers %s output differs:\n%s\nvs\n%s", w, got, want)
+		}
+	}
+}
+
+func TestFedsimBadFlags(t *testing.T) {
+	var out, errOut bytes.Buffer
+	for _, args := range [][]string{
+		{"-dataset", "nope"},
+		{"-partition", "nope"},
+		{"-method", "nope"},
+	} {
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Fatalf("run(%v) succeeded, want failure", args)
+		}
+	}
+}

@@ -3,7 +3,7 @@
 // Usage:
 //
 //	tables -exp table3 -scale ci -seed 1
-//	tables -exp all -scale medium
+//	tables -exp all -scale medium -workers 8
 //	tables -list
 //
 // Experiment ids are the paper's table/figure numbers (table2, table3,
@@ -12,37 +12,59 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"feddrl"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id or 'all'")
-	scaleName := flag.String("scale", "ci", "scale: ci, medium or paper")
-	seed := flag.Uint64("seed", 1, "experiment seed")
-	list := flag.Bool("list", false, "list experiment ids and exit")
-	csvDir := flag.String("csvdir", "", "also export figure series as CSV into this directory (figure5/7/8)")
-	rounds := flag.Int("rounds", 0, "override the scale's communication rounds (0 = keep)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entrypoint: flags in, exit code out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tables", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment id or 'all'")
+	scaleName := fs.String("scale", "ci", "scale: ci, medium or paper")
+	seed := fs.Uint64("seed", 1, "experiment seed")
+	list := fs.Bool("list", false, "list experiment ids and exit")
+	csvDir := fs.String("csvdir", "", "also export figure series as CSV into this directory (figure5/7/8)")
+	rounds := fs.Int("rounds", 0, "override the scale's communication rounds (0 = keep)")
+	workers := fs.Int("workers", 0, "engine worker lanes shared by the experiment grid and every federated run (0 = the scale's default, -1 = GOMAXPROCS); output is identical at any width")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
 		for _, n := range feddrl.ExperimentNames() {
-			fmt.Println(n)
+			fmt.Fprintln(stdout, n)
 		}
-		return
+		return 0
 	}
 
 	scale, err := feddrl.ScaleByName(*scaleName)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 	if *rounds > 0 {
 		scale.Rounds = *rounds
+	}
+	switch {
+	case *workers > 0:
+		scale.Workers = *workers
+	case *workers < 0:
+		scale.Workers = runtime.GOMAXPROCS(0)
 	}
 
 	ids := []string{*exp}
@@ -53,17 +75,19 @@ func main() {
 		start := time.Now()
 		out, err := feddrl.RunExperiment(id, scale, *seed)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
-		fmt.Printf("### %s (scale=%s, seed=%d, took %v)\n\n%s\n", id, scale.Name, *seed, time.Since(start).Round(time.Millisecond), out)
-		if *csvDir != "" {
+		fmt.Fprintf(stdout, "### %s (scale=%s, seed=%d, took %v)\n\n%s\n", id, scale.Name, *seed, time.Since(start).Round(time.Millisecond), out)
+		if *csvDir != "" && (id == "figure5" || id == "figure7" || id == "figure8") {
 			paths, err := feddrl.ExportExperimentCSV(id, scale, *seed, *csvDir)
-			if err == nil {
-				for _, p := range paths {
-					fmt.Printf("csv: %s\n", p)
-				}
+			if err != nil {
+				fmt.Fprintf(stderr, "csv export of %s failed: %v\n", id, err)
+			}
+			for _, p := range paths {
+				fmt.Fprintf(stdout, "csv: %s\n", p)
 			}
 		}
 	}
+	return 0
 }

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTablesList(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"table2", "table3", "figure9", "headline"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestTablesRunsExperiment regenerates the cheapest paper artifact
+// (Table 2 is pure partition statistics, no training).
+func TestTablesRunsExperiment(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "table2", "-scale", "ci"}, &out, &errOut); code != 0 {
+		t.Fatalf("table2 exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "### table2") {
+		t.Fatalf("missing experiment header:\n%s", out.String())
+	}
+}
+
+// TestTablesWorkersFlag checks that -workers reaches the grid runner and
+// does not change rendered results (figure4 is training-free; use a
+// trained figure at tiny rounds for the real check).
+func TestTablesWorkersFlag(t *testing.T) {
+	render := func(workers string) string {
+		var out, errOut bytes.Buffer
+		args := []string{"-exp", "figure8", "-scale", "ci", "-rounds", "2", "-workers", workers}
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("workers=%s exited %d: %s", workers, code, errOut.String())
+		}
+		// Strip the timing header line, which legitimately varies.
+		s := out.String()
+		return s[strings.Index(s, "\n"):]
+	}
+	if render("1") != render("3") {
+		t.Fatal("figure8 output differs between -workers 1 and -workers 3")
+	}
+}
+
+func TestTablesBadArgs(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-scale", "nope"}, &out, &errOut); code == 0 {
+		t.Fatal("bad scale accepted")
+	}
+	if code := run([]string{"-exp", "nope", "-scale", "ci"}, &out, &errOut); code == 0 {
+		t.Fatal("bad experiment id accepted")
+	}
+}

@@ -5,15 +5,27 @@ package main
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"feddrl"
 )
 
 func main() {
+	if err := run(os.Stdout, 0.3, 15, 3); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+// run executes the quickstart at the given dataset scale, round count
+// and local-epoch budget (the defaults above match the package comment;
+// the test shrinks them).
+func run(out io.Writer, dataScale float64, rounds, epochs int) error {
 	// 1. Synthesize the MNIST analogue (10 classes, 8x8 images).
-	spec := feddrl.MNISTSim().Scaled(0.3)
+	spec := feddrl.MNISTSim().Scaled(dataScale)
 	train, test := feddrl.Synthesize(spec, 42)
-	fmt.Printf("dataset %s: %d train / %d test samples, %d classes\n",
+	fmt.Fprintf(out, "dataset %s: %d train / %d test samples, %d classes\n",
 		spec.Name, train.N, test.N, train.NumClasses)
 
 	// 2. Partition with the paper's cluster skew (CE): 10 clients, a main
@@ -21,17 +33,18 @@ func main() {
 	const nClients, k = 10, 10
 	assign := feddrl.ClusteredEqual(train, nClients, 0.6, 2, 3, feddrl.NewRNG(1))
 	stats := feddrl.ComputePartitionStats(train, assign)
-	fmt.Printf("partition CE: coverage %.0f%%, cluster score %.3f\n\n",
+	fmt.Fprintf(out, "partition CE: coverage %.0f%%, cluster score %.3f\n\n",
 		stats.Coverage*100, stats.ClusterScore)
 
 	// 3. Shared model and run configuration (Algorithm 2).
 	factory := feddrl.MLPFactory(train.Dim, []int{48}, train.NumClasses)
 	cfg := feddrl.RunConfig{
-		Rounds:  15,
+		Rounds:  rounds,
 		K:       k,
-		Local:   feddrl.LocalConfig{Epochs: 3, Batch: 10, LR: 0.03},
+		Local:   feddrl.LocalConfig{Epochs: epochs, Batch: 10, LR: 0.03},
 		Factory: factory,
 		Seed:    7,
+		Workers: 4, // bounded engine; results identical at any width
 	}
 
 	// 4. Baseline: FedAvg (impact factors proportional to sample counts).
@@ -47,13 +60,14 @@ func main() {
 	drl := feddrl.Run(cfg, feddrl.BuildClients(train, assign.ClientIndices, factory, 7), test, feddrl.NewFedDRL(agent))
 
 	// 6. Compare.
-	fmt.Println("round   FedAvg   FedDRL")
+	fmt.Fprintln(out, "round   FedAvg   FedDRL")
 	for i := range avg.Accuracy {
-		fmt.Printf("%5d   %5.2f%%   %5.2f%%\n", avg.AccRounds[i], avg.Accuracy[i], drl.Accuracy[i])
+		fmt.Fprintf(out, "%5d   %5.2f%%   %5.2f%%\n", avg.AccRounds[i], avg.Accuracy[i], drl.Accuracy[i])
 	}
-	fmt.Printf("\nbest accuracy: FedAvg %.2f%%  FedDRL %.2f%%\n", avg.Best(), drl.Best())
-	fmt.Printf("client-loss variance (fairness, last rounds): FedAvg %.4f  FedDRL %.4f\n",
+	fmt.Fprintf(out, "\nbest accuracy: FedAvg %.2f%%  FedDRL %.2f%%\n", avg.Best(), drl.Best())
+	fmt.Fprintf(out, "client-loss variance (fairness, last rounds): FedAvg %.4f  FedDRL %.4f\n",
 		avg.ClientLossVars().Tail(4), drl.ClientLossVars().Tail(4))
-	fmt.Printf("server overhead per round: decision %v, aggregation %v\n",
+	fmt.Fprintf(out, "server overhead per round: decision %v, aggregation %v\n",
 		drl.MeanDecisionTime(), drl.MeanAggTime())
+	return nil
 }

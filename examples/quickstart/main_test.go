@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestQuickstartRuns executes the quickstart end to end at a miniature
+// configuration, so the example stops being a [no test files] blind
+// spot.
+func TestQuickstartRuns(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(&out, 0.05, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"dataset mnist-sim", "partition CE", "best accuracy: FedAvg", "FedDRL"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("quickstart output missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -11,6 +11,8 @@
 //   - non-IID partitioners: Pareto (PA), ClusteredEqual (CE, the paper's
 //     cluster skew), ClusteredNonEqual (CN), EqualShards, NonEqualShards
 //   - the FL loop: NewClient/BuildClients, Run, SingleSet
+//   - the execution engine: NewWorkerPool + RunConfig.Workers, a bounded
+//     worker pool whose parallel results are bit-identical to sequential
 //   - aggregators: FedAvg, FedProx, NewFedDRL (the paper's contribution),
 //     or any custom Aggregator implementation
 //   - the DRL agent: NewAgent, DefaultAgentConfig, TrainTwoStage
@@ -23,6 +25,7 @@ package feddrl
 import (
 	"feddrl/internal/core"
 	"feddrl/internal/dataset"
+	"feddrl/internal/engine"
 	"feddrl/internal/experiments"
 	"feddrl/internal/fl"
 	"feddrl/internal/metrics"
@@ -149,6 +152,27 @@ var (
 	NewFedDRL = fl.NewFedDRL
 	// EvalLossAcc evaluates a model on a dataset.
 	EvalLossAcc = fl.EvalLossAcc
+)
+
+// Execution engine: the bounded worker pool behind RunConfig.Workers.
+// All parallel paths are bit-identical to sequential execution.
+type (
+	// WorkerPool is a persistent bounded worker pool; share one across
+	// runs via RunConfig.Pool to cap total parallelism.
+	WorkerPool = engine.Pool
+	// Evaluator is the chunk-parallel test-set evaluator (one model
+	// replica per pool lane).
+	Evaluator = fl.Evaluator
+)
+
+var (
+	// NewWorkerPool builds a pool with the given lane count
+	// (0 = GOMAXPROCS).
+	NewWorkerPool = engine.New
+	// NewEvaluator builds a chunk-parallel evaluator over a pool.
+	NewEvaluator = fl.NewEvaluator
+	// AggregateOn is Aggregate executed segment-parallel on a pool.
+	AggregateOn = fl.AggregateOn
 )
 
 // DRL agent.

@@ -1,0 +1,3 @@
+module feddrl
+
+go 1.21

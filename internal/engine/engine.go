@@ -1,0 +1,145 @@
+// Package engine provides the bounded-worker execution engine behind
+// every parallel path of the simulator: client local training, chunked
+// test-set evaluation and the segment-parallel weight merge (the
+// server-side costs of Fig. 9), as well as the experiment grid runner.
+//
+// The engine's contract is determinism: a parallel-for over n index
+// slots runs every index exactly once, and callers write results only
+// into their own slot, so the outcome is bit-identical to a sequential
+// loop regardless of the number of workers or the interleaving. The
+// pool is persistent (goroutines start once and live until Close) and
+// bounded (at most Workers lanes execute concurrently), replacing the
+// unbounded one-goroutine-per-client fan-out the fl package used
+// before.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a persistent bounded worker pool. The zero value is not
+// usable; construct with New. A nil *Pool is valid everywhere and means
+// "run inline, sequentially", so callers can thread an optional pool
+// without branching.
+type Pool struct {
+	workers int
+	// handoff is unbuffered: a task is handed over only when a worker
+	// goroutine is idle and already receiving. If every worker is busy
+	// (or parked in a nested For's wait), the submitting caller simply
+	// runs the work itself — this is what makes nested For calls
+	// deadlock-free by construction.
+	handoff chan func()
+	quit    chan struct{}
+	once    sync.Once
+}
+
+// New builds a pool with the given number of lanes. workers <= 0 selects
+// GOMAXPROCS. A pool of one lane spawns no goroutines and runs
+// everything inline.
+func New(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		handoff: make(chan func()),
+		quit:    make(chan struct{}),
+	}
+	// The submitting caller always participates as lane 0, so only
+	// workers-1 helper goroutines are needed.
+	for i := 0; i < workers-1; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	for {
+		select {
+		case f := <-p.handoff:
+			f()
+		case <-p.quit:
+			return
+		}
+	}
+}
+
+// Workers returns the pool's lane count; a nil pool has one lane.
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// Close stops the pool's goroutines. Closing is idempotent and a nil
+// pool's Close is a no-op. For calls issued after Close still complete
+// correctly — they just run entirely on the caller.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() { close(p.quit) })
+}
+
+// For runs task(i) for every i in [0, n), using up to Workers lanes
+// concurrently, and returns when all indices have completed. Each index
+// runs exactly once; tasks must confine their writes to per-index state
+// for the result to be bit-identical to the sequential loop.
+func (p *Pool) For(n int, task func(i int)) {
+	p.ForWorker(n, func(_, i int) { task(i) })
+}
+
+// ForWorker is For with a lane id: task(w, i) runs index i on lane w,
+// where 0 <= w < Workers() and two tasks running concurrently within
+// this call always observe distinct w. Lane ids index per-call scratch
+// (model replicas, accumulators); they are NOT distinct across separate
+// concurrent For calls, so scratch must belong to the call, not the
+// pool.
+func (p *Pool) ForWorker(n int, task func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	if p == nil || p.workers == 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			task(0, i)
+		}
+		return
+	}
+	var next int64
+	run := func(lane int) {
+		for {
+			i := int(atomic.AddInt64(&next, 1)) - 1
+			if i >= n {
+				return
+			}
+			task(lane, i)
+		}
+	}
+	helpers := p.workers - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	var wg sync.WaitGroup
+	for h := 1; h <= helpers; h++ {
+		lane := h
+		wg.Add(1)
+		f := func() {
+			defer wg.Done()
+			run(lane)
+		}
+		select {
+		case p.handoff <- f:
+		default:
+			// No idle worker right now (the pool is saturated, e.g. by
+			// sibling experiment cells): skip the helper and let the
+			// caller cover its share. Correctness is unaffected — the
+			// atomic cursor hands every index to whoever is running.
+			wg.Done()
+		}
+	}
+	run(0)
+	wg.Wait()
+}

@@ -1,0 +1,171 @@
+package engine
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForRunsEveryIndexOnce checks the core contract: each index in
+// [0, n) executes exactly once, for pools of various widths including
+// nil and single-lane.
+func TestForRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+			var p *Pool
+			if workers > 0 {
+				p = New(workers)
+			}
+			counts := make([]int32, n)
+			p.For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+			p.Close()
+		}
+	}
+}
+
+// TestForWorkerLaneBounds checks that lane ids stay within
+// [0, Workers()) and that the caller's lane 0 is always present for
+// non-empty work.
+func TestForWorkerLaneBounds(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var bad int32
+	var lane0 int32
+	p.ForWorker(200, func(w, i int) {
+		if w < 0 || w >= p.Workers() {
+			atomic.AddInt32(&bad, 1)
+		}
+		if w == 0 {
+			atomic.AddInt32(&lane0, 1)
+		}
+	})
+	if bad != 0 {
+		t.Fatalf("%d tasks saw an out-of-range lane", bad)
+	}
+	if lane0 == 0 {
+		t.Fatal("caller lane 0 executed no tasks")
+	}
+}
+
+// TestForWorkerLaneExclusive exercises the worker-local-scratch
+// guarantee: within one For call, concurrent tasks never share a lane,
+// so unsynchronized per-lane accumulators are safe. The race detector
+// (go test -race) is the real assertion here.
+func TestForWorkerLaneExclusive(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	scratch := make([]int, p.Workers()) // deliberately not atomic
+	const n = 500
+	p.ForWorker(n, func(w, i int) { scratch[w]++ })
+	total := 0
+	for _, c := range scratch {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("lane accumulators sum to %d, want %d", total, n)
+	}
+}
+
+// TestNestedFor exercises the saturation path: every outer task issues
+// an inner For on the same pool. With an unbuffered handoff this must
+// neither deadlock nor lose indices.
+func TestNestedFor(t *testing.T) {
+	p := New(2)
+	defer p.Close()
+	const outer, inner = 8, 64
+	counts := make([]int32, outer*inner)
+	p.For(outer, func(i int) {
+		p.For(inner, func(j int) {
+			atomic.AddInt32(&counts[i*inner+j], 1)
+		})
+	})
+	for idx, c := range counts {
+		if c != 1 {
+			t.Fatalf("nested index %d ran %d times", idx, c)
+		}
+	}
+}
+
+// TestConcurrentForCalls runs several For calls against one pool from
+// independent goroutines, mimicking the experiments grid where sibling
+// cells share the pool.
+func TestConcurrentForCalls(t *testing.T) {
+	p := New(3)
+	defer p.Close()
+	const callers, n = 5, 200
+	done := make(chan [n]int32, callers)
+	for c := 0; c < callers; c++ {
+		go func() {
+			var counts [n]int32
+			p.For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			done <- counts
+		}()
+	}
+	for c := 0; c < callers; c++ {
+		counts := <-done
+		for i, v := range counts {
+			if v != 1 {
+				t.Fatalf("caller %d: index %d ran %d times", c, i, v)
+			}
+		}
+	}
+}
+
+// TestOrderedReduction demonstrates the determinism recipe used by the
+// fl package: parallel tasks fill per-index slots, and a sequential
+// in-order reduction gives a result bit-identical to the pure
+// sequential computation.
+func TestOrderedReduction(t *testing.T) {
+	const n = 1000
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1.0 / float64(i+3)
+	}
+	seq := 0.0
+	for _, v := range vals {
+		seq += v
+	}
+	p := New(4)
+	defer p.Close()
+	slots := make([]float64, n)
+	p.For(n, func(i int) { slots[i] = vals[i] })
+	par := 0.0
+	for _, v := range slots {
+		par += v
+	}
+	if seq != par {
+		t.Fatalf("ordered reduction not bit-identical: %v vs %v", seq, par)
+	}
+}
+
+// TestCloseIdempotent checks Close twice and For-after-Close (which
+// must still complete on the caller).
+func TestCloseIdempotent(t *testing.T) {
+	p := New(4)
+	p.Close()
+	p.Close()
+	var ran int32
+	p.For(10, func(i int) { atomic.AddInt32(&ran, 1) })
+	if ran != 10 {
+		t.Fatalf("For after Close ran %d of 10 tasks", ran)
+	}
+	var nilPool *Pool
+	nilPool.Close()
+	if nilPool.Workers() != 1 {
+		t.Fatalf("nil pool reports %d workers", nilPool.Workers())
+	}
+}
+
+// TestDefaultWidth checks the GOMAXPROCS default.
+func TestDefaultWidth(t *testing.T) {
+	p := New(0)
+	defer p.Close()
+	if got, want := p.Workers(), runtime.GOMAXPROCS(0); got != want {
+		t.Fatalf("New(0).Workers() = %d, want GOMAXPROCS = %d", got, want)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 
+	"feddrl/internal/engine"
+	"feddrl/internal/fl"
 	"feddrl/internal/metrics"
 )
 
@@ -16,6 +18,7 @@ import (
 // Figure 5, keyed "figure5-<dataset>-<partition>".
 func Figure5Series(s Scale, seed uint64) map[string]*metrics.SeriesSet {
 	cache := newCache(s, seed)
+	defer cache.close()
 	out := map[string]*metrics.SeriesSet{}
 	for _, spec := range s.datasets() {
 		if spec.Name == "mnist-sim" {
@@ -43,11 +46,14 @@ func Figure7Series(s Scale, seed uint64) *metrics.SeriesSet {
 	spec := s.datasets()[0]
 	x := make([]float64, len(s.KSweep))
 	cols := map[string]metrics.Series{}
+	results := sweepGrid(s, len(s.KSweep), func(i, j int, pool *engine.Pool) *fl.Result {
+		k := s.KSweep[i]
+		return runMethodOn(s, spec, "CE", fedMethods[j], s.LargeN, k, defaultDelta, seed+uint64(k), pool)
+	})
 	for i, k := range s.KSweep {
 		x[i] = float64(k)
-		for _, m := range fedMethods {
-			r := runMethod(s, spec, "CE", m, s.LargeN, k, defaultDelta, seed+uint64(k))
-			cols[m] = append(cols[m], r.Best())
+		for j, m := range fedMethods {
+			cols[m] = append(cols[m], results[i][j].Best())
 		}
 	}
 	ss := metrics.NewSeriesSet("K", x)
@@ -62,11 +68,14 @@ func Figure8Series(s Scale, seed uint64) *metrics.SeriesSet {
 	spec := s.datasets()[1]
 	x := make([]float64, len(s.Deltas))
 	cols := map[string]metrics.Series{}
+	results := sweepGrid(s, len(s.Deltas), func(i, j int, pool *engine.Pool) *fl.Result {
+		delta := s.Deltas[i]
+		return runMethodOn(s, spec, "CE", fedMethods[j], s.LargeN, s.K, delta, seed+uint64(delta*100), pool)
+	})
 	for i, delta := range s.Deltas {
 		x[i] = delta
-		for _, m := range fedMethods {
-			r := runMethod(s, spec, "CE", m, s.LargeN, s.K, delta, seed+uint64(delta*100))
-			cols[m] = append(cols[m], r.Best())
+		for j, m := range fedMethods {
+			cols[m] = append(cols[m], results[i][j].Best())
 		}
 	}
 	ss := metrics.NewSeriesSet("delta", x)

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"feddrl/internal/dataset"
+	"feddrl/internal/engine"
 	"feddrl/internal/fl"
 	"feddrl/internal/metrics"
 )
@@ -18,6 +19,19 @@ var fedMethods = []string{"FedAvg", "FedProx", "FedDRL"}
 // the paper's plot.
 func Figure5(s Scale, seed uint64) string {
 	cache := newCache(s, seed)
+	defer cache.close()
+	var jobs []cellJob
+	for _, spec := range s.datasets() {
+		if spec.Name == "mnist-sim" {
+			continue
+		}
+		for _, part := range PartitionNames {
+			for _, m := range fedMethods {
+				jobs = append(jobs, cellJob{spec: spec, part: part, method: m, n: s.SmallN, k: s.K, delta: defaultDelta})
+			}
+		}
+	}
+	cache.prefetch(jobs)
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 5: top-1 test accuracy (%%) vs communication round, %d clients\n\n", s.SmallN)
 	for _, spec := range s.datasets() {
@@ -61,7 +75,15 @@ func Figure5(s Scale, seed uint64) string {
 // baseline is worse than FedDRL.
 func Figure6(s Scale, seed uint64) string {
 	cache := newCache(s, seed)
+	defer cache.close()
 	spec := s.datasets()[0] // cifar100-sim
+	var jobs []cellJob
+	for _, part := range PartitionNames {
+		for _, m := range fedMethods {
+			jobs = append(jobs, cellJob{spec: spec, part: part, method: m, n: s.SmallN, k: s.K, delta: defaultDelta})
+		}
+	}
+	cache.prefetch(jobs)
 	tail := s.Rounds / 4
 	if tail < 1 {
 		tail = 1
@@ -125,11 +147,16 @@ func Figure7(s Scale, seed uint64) string {
 	tab := &metrics.Table{
 		Headers: append([]string{"K"}, fedMethods...),
 	}
-	for _, k := range s.KSweep {
+	// The sweep's (K × method) cells are independent: fan them out on
+	// the pool, then render rows in sweep order.
+	results := sweepGrid(s, len(s.KSweep), func(i, j int, pool *engine.Pool) *fl.Result {
+		k := s.KSweep[i]
+		return runMethodOn(s, spec, "CE", fedMethods[j], s.LargeN, k, defaultDelta, seed+uint64(k), pool)
+	})
+	for i, k := range s.KSweep {
 		row := []string{fmt.Sprintf("%d", k)}
-		for _, m := range fedMethods {
-			r := runMethod(s, spec, "CE", m, s.LargeN, k, defaultDelta, seed+uint64(k))
-			row = append(row, metrics.F(r.Best()))
+		for j := range fedMethods {
+			row = append(row, metrics.F(results[i][j].Best()))
 		}
 		tab.AddRow(row...)
 	}
@@ -146,11 +173,14 @@ func Figure8(s Scale, seed uint64) string {
 	tab := &metrics.Table{
 		Headers: append([]string{"delta"}, fedMethods...),
 	}
-	for _, delta := range s.Deltas {
+	results := sweepGrid(s, len(s.Deltas), func(i, j int, pool *engine.Pool) *fl.Result {
+		delta := s.Deltas[i]
+		return runMethodOn(s, spec, "CE", fedMethods[j], s.LargeN, s.K, delta, seed+uint64(delta*100), pool)
+	})
+	for i, delta := range s.Deltas {
 		row := []string{fmt.Sprintf("%.1f", delta)}
-		for _, m := range fedMethods {
-			r := runMethod(s, spec, "CE", m, s.LargeN, s.K, delta, seed+uint64(delta*100))
-			row = append(row, metrics.F(r.Best()))
+		for j := range fedMethods {
+			row = append(row, metrics.F(results[i][j].Best()))
 		}
 		tab.AddRow(row...)
 	}
@@ -158,11 +188,39 @@ func Figure8(s Scale, seed uint64) string {
 	return b.String()
 }
 
+// sweepGrid runs a rows × len(fedMethods) grid of independent cells on
+// the scale's pool and returns the results indexed [row][method]. Cell
+// (i, j) is computed by run exactly once; ordering never leaks into the
+// results because each cell derives all randomness from its own seed.
+func sweepGrid(s Scale, rows int, run func(i, j int, pool *engine.Pool) *fl.Result) [][]*fl.Result {
+	pool := s.newPool()
+	defer pool.Close()
+	results := make([][]*fl.Result, rows)
+	for i := range results {
+		results[i] = make([]*fl.Result, len(fedMethods))
+	}
+	pool.For(rows*len(fedMethods), func(idx int) {
+		i, j := idx/len(fedMethods), idx%len(fedMethods)
+		results[i][j] = run(i, j, pool)
+	})
+	return results
+}
+
 // Figure10 reproduces the convergence study: communication rounds needed
 // by each method to reach the target accuracy (the minimum best accuracy
 // across methods, as in §5.2), per dataset × partition at SmallN clients.
 func Figure10(s Scale, seed uint64) string {
 	cache := newCache(s, seed)
+	defer cache.close()
+	var jobs []cellJob
+	for _, spec := range s.datasets() {
+		for _, part := range PartitionNames {
+			for _, m := range fedMethods {
+				jobs = append(jobs, cellJob{spec: spec, part: part, method: m, n: s.SmallN, k: s.K, delta: defaultDelta})
+			}
+		}
+	}
+	cache.prefetch(jobs)
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 10: rounds to reach target accuracy (target = min of methods' best), %d clients\n\n", s.SmallN)
 	tab := &metrics.Table{

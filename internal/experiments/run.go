@@ -5,6 +5,7 @@ import (
 
 	"feddrl/internal/core"
 	"feddrl/internal/dataset"
+	"feddrl/internal/engine"
 	"feddrl/internal/fl"
 	"feddrl/internal/partition"
 	"feddrl/internal/rng"
@@ -62,6 +63,14 @@ func (s Scale) drlConfig(k int, seed uint64) core.Config {
 // runMethod executes one (dataset, partition, N, method) cell and returns
 // its result. delta applies to the clustered partitions only.
 func runMethod(s Scale, spec dataset.Spec, partName, method string, n, k int, delta float64, seed uint64) *fl.Result {
+	return runMethodOn(s, spec, partName, method, n, k, delta, seed, nil)
+}
+
+// runMethodOn is runMethod executing on a shared engine pool: the cell's
+// client training, evaluation and aggregation all borrow the pool's
+// lanes, so many cells can run concurrently under one global worker
+// bound. A nil pool falls back to the scale's own Workers setting.
+func runMethodOn(s Scale, spec dataset.Spec, partName, method string, n, k int, delta float64, seed uint64, pool *engine.Pool) *fl.Result {
 	train, test := dataset.Synthesize(spec, seed)
 	// The paper's default K=10 means full participation at its small
 	// federation size (N=10, §4.1.2); mirror that so the FedDRL state's
@@ -93,6 +102,7 @@ func runMethod(s Scale, spec dataset.Spec, partName, method string, n, k int, de
 		panic(fmt.Sprintf("experiments: unknown method %q", method))
 	}
 	cfg := s.runConfig(spec, k, proxMu, seed+1)
+	cfg.Pool = pool
 	clients := fl.BuildClients(train, assign.ClientIndices, cfg.Factory, seed+4)
 	return fl.Run(cfg, clients, test, agg)
 }
@@ -105,15 +115,62 @@ type cellKey struct {
 }
 
 // resultCache avoids recomputing identical (dataset, partition, method)
-// runs when several figures share them within one process.
+// runs when several figures share them within one process. It owns the
+// experiment invocation's engine pool: prefetch fans independent cells
+// out across the pool's lanes, and every cell's inner federated run
+// borrows the same lanes, keeping total parallelism bounded.
 type resultCache struct {
 	s     Scale
 	seed  uint64
+	pool  *engine.Pool
 	cells map[cellKey]*fl.Result
 }
 
 func newCache(s Scale, seed uint64) *resultCache {
-	return &resultCache{s: s, seed: seed, cells: map[cellKey]*fl.Result{}}
+	return &resultCache{s: s, seed: seed, pool: s.newPool(), cells: map[cellKey]*fl.Result{}}
+}
+
+// close releases the cache's pool (idempotent; nil-safe).
+func (c *resultCache) close() { c.pool.Close() }
+
+// cellJob fully describes one runnable experiment cell.
+type cellJob struct {
+	spec   dataset.Spec
+	part   string
+	method string
+	n, k   int
+	delta  float64
+}
+
+func (j cellJob) key() cellKey {
+	return cellKey{ds: j.spec.Name, part: j.part, method: j.method, n: j.n, delta: j.delta}
+}
+
+// prefetch computes every not-yet-cached job, independent cells in
+// parallel on the pool. Results land in per-job slots and are committed
+// to the map only after the barrier, so no lock is needed and the cache
+// contents do not depend on completion order. Callers must enumerate
+// the same cells their rendering loop will get(): a cell missing from
+// the job list still computes correctly, just sequentially.
+func (c *resultCache) prefetch(jobs []cellJob) {
+	pending := make([]cellJob, 0, len(jobs))
+	queued := map[cellKey]bool{}
+	for _, j := range jobs {
+		key := j.key()
+		if _, done := c.cells[key]; done || queued[key] {
+			continue
+		}
+		queued[key] = true
+		pending = append(pending, j)
+	}
+	results := make([]*fl.Result, len(pending))
+	c.pool.For(len(pending), func(i int) {
+		j := pending[i]
+		results[i] = runMethodOn(c.s, j.spec, j.part, j.method, j.n, j.k, j.delta, c.seed, c.pool)
+	})
+	for i, j := range pending {
+		c.cells[j.key()] = results[i]
+	}
 }
 
 func (c *resultCache) get(spec dataset.Spec, part, method string, n, k int, delta float64) *fl.Result {
@@ -121,7 +178,7 @@ func (c *resultCache) get(spec dataset.Spec, part, method string, n, k int, delt
 	if r, ok := c.cells[key]; ok {
 		return r
 	}
-	r := runMethod(c.s, spec, part, method, n, k, delta, c.seed)
+	r := runMethodOn(c.s, spec, part, method, n, k, delta, c.seed, c.pool)
 	c.cells[key] = r
 	return r
 }

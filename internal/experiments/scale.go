@@ -13,8 +13,10 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 
 	"feddrl/internal/dataset"
+	"feddrl/internal/engine"
 	"feddrl/internal/fl"
 	"feddrl/internal/nn"
 	"feddrl/internal/rng"
@@ -64,7 +66,36 @@ type Scale struct {
 	// EvalEvery is the test-evaluation cadence.
 	EvalEvery int
 	// Parallel trains selected clients in goroutines.
+	//
+	// Deprecated: shorthand for Workers=GOMAXPROCS; prefer Workers.
 	Parallel bool
+	// Workers is the bounded engine width used both across independent
+	// experiment cells (Table 3 / Fig. 7 / Fig. 8 grids) and inside each
+	// federated run (client training, evaluation, aggregation). 0 means
+	// GOMAXPROCS when Parallel is set, sequential otherwise. Any value
+	// produces bit-identical experiment output.
+	Workers int
+}
+
+// effectiveWorkers resolves the engine width from Workers and the
+// deprecated Parallel flag.
+func (s Scale) effectiveWorkers() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	if s.Parallel {
+		return runtime.GOMAXPROCS(0)
+	}
+	return 1
+}
+
+// newPool builds the shared engine pool for one experiment invocation,
+// or nil (inline execution) when the scale is sequential.
+func (s Scale) newPool() *engine.Pool {
+	if s.effectiveWorkers() <= 1 {
+		return nil
+	}
+	return engine.New(s.effectiveWorkers())
 }
 
 // CI returns the continuous-integration scale: every experiment finishes
@@ -187,6 +218,7 @@ func (s Scale) runConfig(spec dataset.Spec, k int, proxMu float64, seed uint64) 
 		Factory:   s.factoryFor(spec),
 		Seed:      seed,
 		Parallel:  s.Parallel,
+		Workers:   s.Workers,
 		EvalEvery: s.EvalEvery,
 	}
 }

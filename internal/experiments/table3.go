@@ -44,9 +44,23 @@ type Table3Result struct {
 }
 
 // RunTable3 executes the full Table 3 grid: three datasets × {PA, CE, CN}
-// × {SmallN, LargeN} clients × four methods.
+// × {SmallN, LargeN} clients × four methods. Independent cells run
+// concurrently on the scale's engine pool (Scale.Workers); each cell is
+// seeded independently, so the rendered table is identical at any width.
 func RunTable3(s Scale, seed uint64) *Table3Result {
 	cache := newCache(s, seed)
+	defer cache.close()
+	var jobs []cellJob
+	for _, spec := range s.datasets() {
+		for _, n := range []int{s.SmallN, s.LargeN} {
+			for _, part := range PartitionNames {
+				for _, m := range Methods {
+					jobs = append(jobs, cellJob{spec: spec, part: part, method: m, n: n, k: s.K, delta: defaultDelta})
+				}
+			}
+		}
+	}
+	cache.prefetch(jobs)
 	res := &Table3Result{Scale: s.Name}
 	for _, spec := range s.datasets() {
 		for _, n := range []int{s.SmallN, s.LargeN} {

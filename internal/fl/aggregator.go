@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"feddrl/internal/core"
+	"feddrl/internal/engine"
 	"feddrl/internal/mathx"
 )
 
@@ -167,6 +168,17 @@ func behaviorAction(alpha []float64, beta float64) []float64 {
 // vector: w ← Σ_k α_k·w_k. It panics unless the weights form a
 // (near-)convex combination aligned with the updates.
 func Aggregate(updates []Update, alpha []float64) []float64 {
+	return AggregateOn(updates, alpha, nil)
+}
+
+// aggSegment is the column span each pool task merges in AggregateOn.
+// Segmentation cannot change the result: every output element is the
+// same k-ordered fold whichever segment it lands in.
+const aggSegment = 8192
+
+// AggregateOn is Aggregate executed segment-parallel on a worker pool
+// (nil means sequential). Results are bit-identical to Aggregate.
+func AggregateOn(updates []Update, alpha []float64, pool *engine.Pool) []float64 {
 	if len(updates) == 0 || len(alpha) != len(updates) {
 		panic(fmt.Sprintf("fl: Aggregate with %d updates and %d weights", len(updates), len(alpha)))
 	}
@@ -189,6 +201,24 @@ func Aggregate(updates []Update, alpha []float64) []float64 {
 		vecs[i] = u.Weights
 	}
 	out := make([]float64, dim)
-	mathx.WeightedSum(out, alpha, vecs)
+	segs := (dim + aggSegment - 1) / aggSegment
+	if pool == nil || segs <= 1 {
+		// Sequential fast path: one kernel call, no per-segment slice
+		// headers. Bit-identical to the segmented fold.
+		mathx.WeightedSum(out, alpha, vecs)
+		return out
+	}
+	pool.For(segs, func(s int) {
+		lo := s * aggSegment
+		hi := lo + aggSegment
+		if hi > dim {
+			hi = dim
+		}
+		sub := make([][]float64, len(vecs))
+		for k, v := range vecs {
+			sub[k] = v[lo:hi]
+		}
+		mathx.WeightedSum(out[lo:hi], alpha, sub)
+	})
 	return out
 }

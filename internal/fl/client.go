@@ -84,24 +84,13 @@ func EvalLoss(m *nn.Network, d *dataset.Dataset) float64 {
 }
 
 // EvalLossAcc returns mean loss and top-1 accuracy of the model on d.
+// It runs sequentially; use Evaluator for the chunk-parallel equivalent
+// (the two are bit-identical by construction).
 func EvalLossAcc(m *nn.Network, d *dataset.Dataset) (loss, acc float64) {
 	if d.N == 0 {
 		return 0, 0
 	}
-	ce := nn.NewCrossEntropy()
-	totalLoss, correct := 0.0, 0.0
-	for start := 0; start < d.N; start += evalChunk {
-		end := start + evalChunk
-		if end > d.N {
-			end = d.N
-		}
-		n := end - start
-		x := tensor.FromSlice(d.X[start*d.Dim:end*d.Dim], n, d.Dim)
-		l, a := ce.Eval(m.Forward(x, false), d.Y[start:end])
-		totalLoss += l * float64(n)
-		correct += a * float64(n)
-	}
-	return totalLoss / float64(d.N), correct / float64(d.N)
+	return evalChunked([]*nn.Network{m}, []*nn.CrossEntropy{nn.NewCrossEntropy()}, d, nil)
 }
 
 // Run performs one communication round on the client (Algorithm 2 lines

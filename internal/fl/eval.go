@@ -1,0 +1,86 @@
+package fl
+
+import (
+	"feddrl/internal/dataset"
+	"feddrl/internal/engine"
+	"feddrl/internal/nn"
+	"feddrl/internal/tensor"
+)
+
+// Evaluator performs chunk-parallel full-dataset evaluation on a worker
+// pool, holding one model replica (and loss scratch) per pool lane so
+// concurrent chunks never share forward-pass state. Results are
+// bit-identical to EvalLossAcc on a single model with the same weights:
+// each evalChunk-sized chunk's loss and accuracy are computed by exactly
+// the same operations, and the cross-chunk reduction runs sequentially
+// in chunk order.
+type Evaluator struct {
+	pool    *engine.Pool
+	factory nn.Factory
+	seed    uint64
+	// models/ces grow lazily to min(lanes, chunks): a small test set
+	// never pays for replicas its chunk count cannot occupy. Evaluator
+	// is not safe for concurrent Eval calls.
+	models []*nn.Network
+	ces    []*nn.CrossEntropy
+}
+
+// NewEvaluator builds an evaluator over pool. A nil pool is valid and
+// yields a single-replica sequential evaluator. factory must build the
+// architecture the evaluated weight vectors come from; the replicas'
+// initial weights are irrelevant (Eval overwrites them). Replicas are
+// constructed lazily, one per lane actually used.
+func NewEvaluator(factory nn.Factory, seed uint64, pool *engine.Pool) *Evaluator {
+	return &Evaluator{pool: pool, factory: factory, seed: seed}
+}
+
+// Eval loads the flat weight vector into the lane replicas and returns
+// the mean loss and top-1 accuracy on d.
+func (e *Evaluator) Eval(global []float64, d *dataset.Dataset) (loss, acc float64) {
+	if d == nil || d.N == 0 {
+		return 0, 0
+	}
+	// Lanes handed chunks by ForWorker are always < min(Workers, chunks),
+	// so only that many replicas can ever be touched.
+	chunks := (d.N + evalChunk - 1) / evalChunk
+	need := e.pool.Workers()
+	if need > chunks {
+		need = chunks
+	}
+	for len(e.models) < need {
+		e.models = append(e.models, e.factory(e.seed))
+		e.ces = append(e.ces, nn.NewCrossEntropy())
+	}
+	for i := 0; i < need; i++ {
+		e.models[i].SetParamVector(global)
+	}
+	return evalChunked(e.models, e.ces, d, e.pool)
+}
+
+// evalChunked is the shared evaluation kernel: chunk i is scored by lane
+// w's replica, per-chunk sums land in per-chunk slots, and the final
+// reduction walks the slots in order — the same additions in the same
+// order as the sequential loop.
+func evalChunked(models []*nn.Network, ces []*nn.CrossEntropy, d *dataset.Dataset, pool *engine.Pool) (loss, acc float64) {
+	chunks := (d.N + evalChunk - 1) / evalChunk
+	chunkLoss := make([]float64, chunks)
+	chunkCorrect := make([]float64, chunks)
+	pool.ForWorker(chunks, func(w, i int) {
+		start := i * evalChunk
+		end := start + evalChunk
+		if end > d.N {
+			end = d.N
+		}
+		n := end - start
+		x := tensor.FromSlice(d.X[start*d.Dim:end*d.Dim], n, d.Dim)
+		l, a := ces[w].Eval(models[w].Forward(x, false), d.Y[start:end])
+		chunkLoss[i] = l * float64(n)
+		chunkCorrect[i] = a * float64(n)
+	})
+	totalLoss, correct := 0.0, 0.0
+	for i := range chunkLoss {
+		totalLoss += chunkLoss[i]
+		correct += chunkCorrect[i]
+	}
+	return totalLoss / float64(d.N), correct / float64(d.N)
+}

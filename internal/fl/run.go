@@ -2,10 +2,11 @@ package fl
 
 import (
 	"fmt"
-	"sync"
+	"runtime"
 	"time"
 
 	"feddrl/internal/dataset"
+	"feddrl/internal/engine"
 	"feddrl/internal/mathx"
 	"feddrl/internal/metrics"
 	"feddrl/internal/nn"
@@ -27,9 +28,22 @@ type RunConfig struct {
 	// Seed drives the server's randomness (initial weights, client
 	// selection).
 	Seed uint64
-	// Parallel trains the selected clients in goroutines. Results are
-	// bit-identical to sequential execution because each client owns its
-	// RNG.
+	// Workers bounds the round engine's parallelism: client local
+	// training, test-set evaluation and the weight merge all run on one
+	// bounded pool with this many lanes. 0 means GOMAXPROCS when
+	// Parallel is set and sequential otherwise; 1 forces sequential.
+	// Results are bit-identical across every Workers value because each
+	// client owns its RNG and the engine reduces in deterministic order.
+	Workers int
+	// Pool optionally supplies a shared execution pool (the experiments
+	// grid runner threads one pool through many concurrent cells). When
+	// set it overrides Workers and the caller owns its lifecycle; when
+	// nil, Run creates and closes a pool of Workers lanes itself.
+	Pool *engine.Pool
+	// Parallel trains the selected clients in goroutines.
+	//
+	// Deprecated: Parallel is kept working as shorthand for
+	// Workers=GOMAXPROCS; prefer setting Workers explicitly.
 	Parallel bool
 	// EvalEvery sets the test-evaluation cadence in rounds (default 1).
 	EvalEvery int
@@ -47,6 +61,24 @@ func (c RunConfig) Validate() {
 	if c.EvalEvery < 0 {
 		panic("fl: negative EvalEvery")
 	}
+	if c.Workers < 0 {
+		panic("fl: negative Workers")
+	}
+}
+
+// effectiveWorkers resolves the engine width from Pool, Workers and the
+// deprecated Parallel flag.
+func (c RunConfig) effectiveWorkers() int {
+	if c.Pool != nil {
+		return c.Pool.Workers()
+	}
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	if c.Parallel {
+		return runtime.GOMAXPROCS(0)
+	}
+	return 1
 }
 
 // RoundMetrics captures one communication round's measurements.
@@ -77,6 +109,9 @@ type Result struct {
 	Method   string
 	Rounds   []RoundMetrics
 	NumParam int
+
+	// Weights is the final global model's flat parameter vector.
+	Weights []float64
 
 	// Accuracy holds the test accuracy at every evaluated round, in
 	// percent (0–100), aligned with AccRounds.
@@ -168,6 +203,16 @@ func Run(cfg RunConfig, clients []*Client, test *dataset.Dataset, agg Aggregator
 	serverModel := cfg.Factory(cfg.Seed)
 	global := serverModel.ParamVector()
 
+	pool := cfg.Pool
+	if pool == nil && cfg.effectiveWorkers() > 1 {
+		pool = engine.New(cfg.effectiveWorkers())
+		defer pool.Close()
+	}
+	var ev *Evaluator
+	if test != nil && pool != nil {
+		ev = NewEvaluator(cfg.Factory, cfg.Seed, pool)
+	}
+
 	sel := cfg.Selector
 	if sel == nil {
 		sel = UniformSelector{}
@@ -179,17 +224,14 @@ func Run(cfg RunConfig, clients []*Client, test *dataset.Dataset, agg Aggregator
 	for round := 0; round < cfg.Rounds; round++ {
 		selected := sel.Select(round, k, eligible, lastLoss, serverRNG)
 
-		if cfg.Parallel && k > 1 {
-			var wg sync.WaitGroup
-			for i, ci := range selected {
-				wg.Add(1)
-				go func(i, ci int) {
-					defer wg.Done()
-					updates[i] = eligible[ci].Run(global, cfg.Local)
-				}(i, ci)
-			}
-			wg.Wait()
+		if pool != nil && k > 1 && distinct(selected) {
+			pool.For(k, func(i int) {
+				updates[i] = eligible[selected[i]].Run(global, cfg.Local)
+			})
 		} else {
+			// Sequential path — also the safety net for a custom
+			// Selector that violates the distinct-indices contract, where
+			// two tasks would otherwise share one client's model and RNG.
 			for i, ci := range selected {
 				updates[i] = eligible[ci].Run(global, cfg.Local)
 			}
@@ -204,7 +246,7 @@ func Run(cfg RunConfig, clients []*Client, test *dataset.Dataset, agg Aggregator
 		decision := time.Since(t0)
 
 		t1 := time.Now()
-		global = Aggregate(updates, alpha)
+		global = AggregateOn(updates, alpha, pool)
 		aggTime := time.Since(t1)
 
 		lb := make([]float64, k)
@@ -221,8 +263,13 @@ func Run(cfg RunConfig, clients []*Client, test *dataset.Dataset, agg Aggregator
 			AggTime:        aggTime,
 		}
 		if test != nil && (round%evalEvery == 0 || round == cfg.Rounds-1) {
-			serverModel.SetParamVector(global)
-			loss, acc := EvalLossAcc(serverModel, test)
+			var loss, acc float64
+			if ev != nil {
+				loss, acc = ev.Eval(global, test)
+			} else {
+				serverModel.SetParamVector(global)
+				loss, acc = EvalLossAcc(serverModel, test)
+			}
 			m.Evaluated = true
 			m.TestLoss = loss
 			m.TestAcc = acc * 100
@@ -231,7 +278,21 @@ func Run(cfg RunConfig, clients []*Client, test *dataset.Dataset, agg Aggregator
 		}
 		res.Rounds = append(res.Rounds, m)
 	}
+	res.Weights = global
 	return res
+}
+
+// distinct reports whether all indices differ (the Selector contract;
+// verified before sharing clients across pool lanes).
+func distinct(idx []int) bool {
+	seen := make(map[int]struct{}, len(idx))
+	for _, i := range idx {
+		if _, dup := seen[i]; dup {
+			return false
+		}
+		seen[i] = struct{}{}
+	}
+	return true
 }
 
 // SingleSet trains on the concatenation of all client data in one place
@@ -271,6 +332,7 @@ func SingleSet(cfg RunConfig, all *dataset.Dataset, test *dataset.Dataset) *Resu
 		}
 		res.Rounds = append(res.Rounds, m)
 	}
+	res.Weights = global
 	return res
 }
 
