@@ -8,8 +8,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -17,12 +19,24 @@ import (
 )
 
 func main() {
-	dsName := flag.String("dataset", "mnist", "dataset: mnist, fashion or cifar100")
-	clients := flag.Int("clients", 10, "number of clients")
-	parts := flag.String("partitions", "PA,CE,CN", "comma-separated partition list")
-	delta := flag.Float64("delta", 0.6, "cluster-skew level for CE/CN")
-	seed := flag.Uint64("seed", 1, "seed")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entrypoint: flags in, exit code out.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("partitionviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dsName := fs.String("dataset", "mnist", "dataset: mnist, fashion or cifar100")
+	clients := fs.Int("clients", 10, "number of clients")
+	parts := fs.String("partitions", "PA,CE,CN", "comma-separated partition list")
+	delta := fs.Float64("delta", 0.6, "cluster-skew level for CE/CN")
+	seed := fs.Uint64("seed", 1, "seed")
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
 
 	var spec feddrl.DataSpec
 	switch *dsName {
@@ -33,8 +47,8 @@ func main() {
 	case "cifar100":
 		spec = feddrl.CIFAR100Sim()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dsName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "unknown dataset %q\n", *dsName)
+		return 2
 	}
 	train, _ := feddrl.Synthesize(spec.Scaled(0.3), *seed)
 	lpc := 2
@@ -56,12 +70,13 @@ func main() {
 		case "Non-equal":
 			assign = feddrl.NonEqualShards(train, *clients, 10, 6, 14, r)
 		default:
-			fmt.Fprintf(os.Stderr, "unknown partition %q\n", p)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "unknown partition %q\n", p)
+			return 2
 		}
-		fmt.Println(feddrl.PartitionASCII(train, assign))
+		fmt.Fprintln(stdout, feddrl.PartitionASCII(train, assign))
 		st := feddrl.ComputePartitionStats(train, assign)
-		fmt.Printf("coverage %.0f%%  quantityCV %.3f  clusterScore %.3f\n\n",
+		fmt.Fprintf(stdout, "coverage %.0f%%  quantityCV %.3f  clusterScore %.3f\n\n",
 			st.Coverage*100, st.QuantityCV, st.ClusterScore)
 	}
+	return 0
 }

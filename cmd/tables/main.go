@@ -4,11 +4,21 @@
 //
 //	tables -exp table3 -scale ci -seed 1
 //	tables -exp all -scale medium -workers 8
+//	tables -exp table3 -seeds 3                 # mean±std over 3 seed replicates
+//	tables -exp table3 -shard 1/2 -out s1.art   # run half the grid, write artifacts
+//	tables -merge shards/                       # recombine shard artifacts and render
 //	tables -list
 //
 // Experiment ids are the paper's table/figure numbers (table2, table3,
 // table4, figure4..figure10) plus the DESIGN.md ablations
 // (ablation-reward, ablation-statenorm, ablation-twostage).
+//
+// Sharding: a grid experiment's cells are enumerated in a deterministic
+// canonical order, and -shard i/n runs exactly the cells whose position
+// is congruent to i-1 mod n, writing their results as a binary artifact
+// file instead of text. -merge dir/ loads every *.art file in dir,
+// verifies the shards cover the full grid, and renders output
+// byte-identical to the unsharded run.
 package main
 
 import (
@@ -17,7 +27,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
+	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"feddrl"
@@ -38,6 +52,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	csvDir := fs.String("csvdir", "", "also export figure series as CSV into this directory (figure5/7/8)")
 	rounds := fs.Int("rounds", 0, "override the scale's communication rounds (0 = keep)")
 	workers := fs.Int("workers", 0, "engine worker lanes shared by the experiment grid and every federated run (0 = the scale's default, -1 = GOMAXPROCS); output is identical at any width")
+	seeds := fs.Int("seeds", 1, "seed replicates per cell; >1 renders mean±std columns (grid experiments with a multi-seed renderer)")
+	shard := fs.String("shard", "", "run a deterministic slice of a grid experiment, as i/n (e.g. 1/2); writes a binary artifact file instead of text")
+	merge := fs.String("merge", "", "merge the shard artifact files (*.art) in this directory and render the combined experiment")
+	out := fs.String("out", "", "artifact output path for -shard (default <exp>_<scale>_seed<seed>_seeds<m>_shard<i>of<n>.art)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -50,6 +68,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, n)
 		}
 		return 0
+	}
+
+	if *merge != "" {
+		// -merge reads everything (experiment, scale, rounds, seed,
+		// seeds) from the artifact headers; any other experiment flag
+		// would be silently ignored, so reject the combination.
+		var conflict string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "merge":
+			default:
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(stderr, "tables: -merge reads its configuration from the artifact files; drop -%s\n", conflict)
+			return 2
+		}
+		return runMerge(*merge, stdout, stderr)
 	}
 
 	scale, err := feddrl.ScaleByName(*scaleName)
@@ -66,14 +103,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *workers < 0:
 		scale.Workers = runtime.GOMAXPROCS(0)
 	}
+	if *seeds < 1 {
+		fmt.Fprintln(stderr, "tables: -seeds must be >= 1")
+		return 2
+	}
+	if *seeds > 1 && *csvDir != "" {
+		fmt.Fprintln(stderr, "tables: -csvdir exports single-seed series and cannot be combined with -seeds > 1")
+		return 2
+	}
+	if *shard != "" && *csvDir != "" {
+		fmt.Fprintln(stderr, "tables: -shard writes an artifact file and cannot be combined with -csvdir")
+		return 2
+	}
+	if *out != "" && *shard == "" {
+		fmt.Fprintln(stderr, "tables: -out only applies to -shard artifact runs")
+		return 2
+	}
+
+	if *shard != "" {
+		return runShard(*exp, scale, *seed, *seeds, *shard, *out, stdout, stderr)
+	}
 
 	ids := []string{*exp}
 	if *exp == "all" {
+		if *seeds > 1 {
+			fmt.Fprintln(stderr, "tables: -seeds needs a specific -exp (not 'all')")
+			return 2
+		}
 		ids = feddrl.ExperimentNames()
 	}
 	for _, id := range ids {
 		start := time.Now()
-		out, err := feddrl.RunExperiment(id, scale, *seed)
+		out, err := feddrl.RunExperimentSeeds(id, scale, *seed, *seeds)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
@@ -90,4 +151,99 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// runShard executes one 1/n slice of a grid experiment and writes its
+// artifact file.
+func runShard(exp string, scale feddrl.Scale, seed uint64, seeds int, shard, out string, stdout, stderr io.Writer) int {
+	if exp == "all" {
+		fmt.Fprintln(stderr, "tables: -shard needs a specific -exp (not 'all')")
+		return 2
+	}
+	index, count, err := parseShard(shard)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	set, err := feddrl.RunExperimentShard(exp, scale, seed, seeds, index, count)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if out == "" {
+		out = fmt.Sprintf("%s_%s_seed%d_seeds%d_shard%dof%d.art", exp, scale.Name, seed, seeds, index, count)
+	}
+	if dir := filepath.Dir(out); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fmt.Fprintf(stderr, "tables: artifact dir: %v\n", err)
+			return 2
+		}
+	}
+	if err := set.SaveFile(out); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "wrote %s (%s shard %d/%d, %d cells)\n", out, exp, index, count, set.Len())
+	return 0
+}
+
+// runMerge recombines the shard artifacts in a directory and renders
+// the experiment they belong to.
+func runMerge(dir string, stdout, stderr io.Writer) int {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.art"))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(stderr, "tables: no *.art shard files in %s\n", dir)
+		return 2
+	}
+	sort.Strings(paths)
+	sets := make([]*feddrl.ExperimentArtifacts, 0, len(paths))
+	for _, p := range paths {
+		set, err := feddrl.LoadExperimentArtifacts(p)
+		if err != nil {
+			fmt.Fprintf(stderr, "tables: %s: %v\n", p, err)
+			return 2
+		}
+		sets = append(sets, set)
+	}
+	merged, err := feddrl.MergeExperimentArtifacts(sets)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	scale, err := feddrl.ScaleByName(merged.ScaleName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	scale.Rounds = merged.Rounds
+	out, err := feddrl.RenderExperimentArtifacts(scale, merged)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fmt.Fprintf(stdout, "### %s (scale=%s, seed=%d, merged from %d shards)\n\n%s\n", merged.Experiment, merged.ScaleName, merged.Seed, len(sets), out)
+	return 0
+}
+
+// parseShard parses an "i/n" shard selector. Range validation (1 <= i
+// <= n) lives in the library's shard scheduler, whose error surfaces
+// through RunExperimentShard.
+func parseShard(s string) (index, count int, err error) {
+	parts := strings.Split(s, "/")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("tables: -shard %q is not of the form i/n", s)
+	}
+	index, err = strconv.Atoi(parts[0])
+	if err != nil {
+		return 0, 0, fmt.Errorf("tables: -shard index %q: %v", parts[0], err)
+	}
+	count, err = strconv.Atoi(parts[1])
+	if err != nil {
+		return 0, 0, fmt.Errorf("tables: -shard count %q: %v", parts[1], err)
+	}
+	return index, count, nil
 }

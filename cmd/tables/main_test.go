@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -46,6 +48,76 @@ func TestTablesWorkersFlag(t *testing.T) {
 	}
 	if render("1") != render("3") {
 		t.Fatal("figure8 output differs between -workers 1 and -workers 3")
+	}
+}
+
+// TestTablesShardMergeRoundTrip runs a small grid as two shards through
+// the real CLI, merges the artifact files, and requires the rendered
+// body (everything after the one-line header) to be byte-identical to
+// the unsharded run.
+func TestTablesShardMergeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-exp", "figure8", "-scale", "ci", "-rounds", "2", "-seed", "1"}
+
+	var full, errOut bytes.Buffer
+	if code := run(base, &full, &errOut); code != 0 {
+		t.Fatalf("unsharded run exited %d: %s", code, errOut.String())
+	}
+	for i := 1; i <= 2; i++ {
+		var out bytes.Buffer
+		errOut.Reset()
+		args := append(append([]string{}, base...),
+			"-shard", fmt.Sprintf("%d/2", i),
+			"-out", filepath.Join(dir, fmt.Sprintf("s%d.art", i)))
+		if code := run(args, &out, &errOut); code != 0 {
+			t.Fatalf("shard %d exited %d: %s", i, code, errOut.String())
+		}
+		if !strings.Contains(out.String(), "wrote ") {
+			t.Fatalf("shard %d did not report its artifact: %s", i, out.String())
+		}
+	}
+	var merged bytes.Buffer
+	errOut.Reset()
+	if code := run([]string{"-merge", dir}, &merged, &errOut); code != 0 {
+		t.Fatalf("merge exited %d: %s", code, errOut.String())
+	}
+	body := func(s string) string { return s[strings.Index(s, "\n"):] }
+	if body(merged.String()) != body(full.String()) {
+		t.Fatalf("merged body differs from unsharded run:\n--- unsharded ---\n%s\n--- merged ---\n%s",
+			full.String(), merged.String())
+	}
+}
+
+func TestTablesSeedsFlag(t *testing.T) {
+	var out, errOut bytes.Buffer
+	args := []string{"-exp", "figure8", "-scale", "ci", "-rounds", "2", "-seeds", "2"}
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("-seeds run exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "mean±std of 2 seeds") || !strings.Contains(out.String(), "±") {
+		t.Fatalf("-seeds output missing mean±std columns:\n%s", out.String())
+	}
+}
+
+func TestTablesShardBadArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-exp", "table3", "-shard", "nope"},
+		{"-exp", "table3", "-shard", "3/2"},
+		{"-exp", "table3", "-shard", "0/2"},
+		{"-exp", "all", "-shard", "1/2"},
+		{"-exp", "table2", "-shard", "1/2"}, // monolithic: not shardable
+		{"-exp", "all", "-seeds", "2"},
+		{"-exp", "table3", "-seeds", "0"},
+		{"-exp", "figure7", "-seeds", "2", "-csvdir", "out"},   // CSVs are single-seed
+		{"-exp", "figure7", "-shard", "1/2", "-csvdir", "out"}, // shard writes artifacts, not CSVs
+		{"-merge", "dir", "-exp", "table3"},                    // merge reads config from artifacts
+		{"-exp", "table3", "-out", "x.art"},                    // -out without -shard
+		{"-merge", "no-such-dir"},
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Fatalf("args %v accepted", args)
+		}
 	}
 }
 

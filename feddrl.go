@@ -198,6 +198,19 @@ var (
 	NewRNG = rng.New
 )
 
+// Experiment job model: grid experiments decompose into serializable
+// cell jobs whose artifacts render in a pure merge stage, enabling
+// cross-process sharding and seed replication.
+type (
+	// ExperimentCellSpec identifies one runnable grid cell.
+	ExperimentCellSpec = experiments.CellSpec
+	// ExperimentCellArtifact is a cell's machine-readable result.
+	ExperimentCellArtifact = experiments.CellArtifact
+	// ExperimentArtifacts is a set of cell artifacts (a whole grid or
+	// one shard), serializable to a binary artifact file.
+	ExperimentArtifacts = experiments.ArtifactSet
+)
+
 // Experiments.
 var (
 	// CIScale finishes every experiment in seconds.
@@ -212,6 +225,22 @@ var (
 	ExperimentNames = experiments.Names
 	// RunExperiment executes a registered table/figure by id.
 	RunExperiment = experiments.Run
+	// RunExperimentSeeds runs a grid experiment with m seed replicates
+	// per cell and renders mean±std columns (m <= 1 behaves like
+	// RunExperiment).
+	RunExperimentSeeds = experiments.RunSeeds
+	// RunExperimentShard computes the deterministic i/n slice of a grid
+	// experiment and returns its artifact set.
+	RunExperimentShard = experiments.RunShard
+	// MergeExperimentArtifacts recombines shard artifact sets.
+	MergeExperimentArtifacts = experiments.MergeSets
+	// RenderExperimentArtifacts renders a complete artifact set into
+	// the exact text an unsharded run produces.
+	RenderExperimentArtifacts = experiments.RenderSet
+	// LoadExperimentArtifacts reads a shard artifact file.
+	LoadExperimentArtifacts = experiments.LoadArtifactSet
+	// ExperimentShardable reports whether an id supports -shard/-merge.
+	ExperimentShardable = experiments.Shardable
 	// ExportExperimentCSV writes a figure's series as CSV files.
 	ExportExperimentCSV = experiments.ExportCSV
 )
@@ -242,6 +271,9 @@ var (
 	CompressTopK = fl.CompressTopK
 	// CompressUpdates compresses a round's updates at a keep fraction.
 	CompressUpdates = fl.CompressUpdates
+	// CompressUpdatesOn is CompressUpdates fanned out across an engine
+	// pool's lanes (bit-identical to the sequential path).
+	CompressUpdatesOn = fl.CompressUpdatesOn
 	// DecompressUpdates reconstructs dense updates server-side.
 	DecompressUpdates = fl.DecompressUpdates
 )

@@ -5,35 +5,34 @@ import (
 	"os"
 	"path/filepath"
 
-	"feddrl/internal/engine"
-	"feddrl/internal/fl"
 	"feddrl/internal/metrics"
 )
 
 // CSV export: the figure runners print text tables; these helpers emit
 // the same series as CSV files for external plotting (one file per
-// figure panel). Used by cmd/tables -csvdir.
+// figure panel). Used by cmd/tables -csvdir. They consume the same
+// CellSpec→artifact pipeline as the text renderers.
 
 // Figure5Series returns one SeriesSet per (dataset, partition) panel of
 // Figure 5, keyed "figure5-<dataset>-<partition>".
 func Figure5Series(s Scale, seed uint64) map[string]*metrics.SeriesSet {
-	cache := newCache(s, seed)
-	defer cache.close()
+	st := newStore(s)
+	defer st.close()
+	st.prefetch(figure5Jobs(s, seed))
 	out := map[string]*metrics.SeriesSet{}
 	for _, spec := range s.datasets() {
 		if spec.Name == "mnist-sim" {
 			continue
 		}
 		for _, part := range PartitionNames {
-			ref := cache.get(spec, part, "FedAvg", s.SmallN, s.K, defaultDelta)
+			ref := st.get(table3Spec(s, spec.Name, part, "FedAvg", s.SmallN, seed))
 			x := make([]float64, len(ref.AccRounds))
 			for i, r := range ref.AccRounds {
 				x[i] = float64(r)
 			}
 			ss := metrics.NewSeriesSet("round", x)
 			for _, m := range fedMethods {
-				r := cache.get(spec, part, m, s.SmallN, s.K, defaultDelta)
-				ss.Add(m, r.Accuracy)
+				ss.Add(m, st.get(table3Spec(s, spec.Name, part, m, s.SmallN, seed)).Accuracy)
 			}
 			out[fmt.Sprintf("figure5-%s-%s", spec.Name, part)] = ss
 		}
@@ -43,17 +42,15 @@ func Figure5Series(s Scale, seed uint64) map[string]*metrics.SeriesSet {
 
 // Figure7Series returns the participation-sweep series (x = K).
 func Figure7Series(s Scale, seed uint64) *metrics.SeriesSet {
-	spec := s.datasets()[0]
+	st := newStore(s)
+	defer st.close()
+	st.prefetch(figure7Jobs(s, seed))
 	x := make([]float64, len(s.KSweep))
 	cols := map[string]metrics.Series{}
-	results := sweepGrid(s, len(s.KSweep), func(i, j int, pool *engine.Pool) *fl.Result {
-		k := s.KSweep[i]
-		return runMethodOn(s, spec, "CE", fedMethods[j], s.LargeN, k, defaultDelta, seed+uint64(k), pool)
-	})
 	for i, k := range s.KSweep {
 		x[i] = float64(k)
-		for j, m := range fedMethods {
-			cols[m] = append(cols[m], results[i][j].Best())
+		for _, m := range fedMethods {
+			cols[m] = append(cols[m], st.get(figure7Spec(s, k, m, seed)).Best())
 		}
 	}
 	ss := metrics.NewSeriesSet("K", x)
@@ -65,17 +62,15 @@ func Figure7Series(s Scale, seed uint64) *metrics.SeriesSet {
 
 // Figure8Series returns the non-IID-level-sweep series (x = delta).
 func Figure8Series(s Scale, seed uint64) *metrics.SeriesSet {
-	spec := s.datasets()[1]
+	st := newStore(s)
+	defer st.close()
+	st.prefetch(figure8Jobs(s, seed))
 	x := make([]float64, len(s.Deltas))
 	cols := map[string]metrics.Series{}
-	results := sweepGrid(s, len(s.Deltas), func(i, j int, pool *engine.Pool) *fl.Result {
-		delta := s.Deltas[i]
-		return runMethodOn(s, spec, "CE", fedMethods[j], s.LargeN, s.K, delta, seed+uint64(delta*100), pool)
-	})
 	for i, delta := range s.Deltas {
 		x[i] = delta
-		for j, m := range fedMethods {
-			cols[m] = append(cols[m], results[i][j].Best())
+		for _, m := range fedMethods {
+			cols[m] = append(cols[m], st.get(figure8Spec(s, delta, m, seed)).Best())
 		}
 	}
 	ss := metrics.NewSeriesSet("delta", x)

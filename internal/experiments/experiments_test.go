@@ -240,18 +240,20 @@ func TestFLEnvContract(t *testing.T) {
 	}
 }
 
-func TestResultCacheHits(t *testing.T) {
+func TestArtifactStoreHits(t *testing.T) {
 	s := microScale()
-	cache := newCache(s, 25)
-	spec := s.datasets()[2]
-	r1 := cache.get(spec, "CE", "FedAvg", s.SmallN, s.K, defaultDelta)
-	r2 := cache.get(spec, "CE", "FedAvg", s.SmallN, s.K, defaultDelta)
+	st := newStore(s)
+	defer st.close()
+	ds := s.datasets()[2]
+	ce := table3Spec(s, ds.Name, "CE", "FedAvg", s.SmallN, 25)
+	r1 := st.get(ce)
+	r2 := st.get(ce)
 	if r1 != r2 {
-		t.Fatal("cache did not reuse the run")
+		t.Fatal("store did not reuse the run")
 	}
-	r3 := cache.get(spec, "CN", "FedAvg", s.SmallN, s.K, defaultDelta)
-	if r3 == r1 {
-		t.Fatal("cache conflated distinct cells")
+	cn := table3Spec(s, ds.Name, "CN", "FedAvg", s.SmallN, 25)
+	if st.get(cn) == r1 {
+		t.Fatal("store conflated distinct cells")
 	}
 }
 

@@ -5,33 +5,35 @@ import (
 	"strings"
 
 	"feddrl/internal/dataset"
-	"feddrl/internal/engine"
-	"feddrl/internal/fl"
+	"feddrl/internal/mathx"
 	"feddrl/internal/metrics"
 )
 
 // fedMethods are the three federated methods (SingleSet excluded).
 var fedMethods = []string{"FedAvg", "FedProx", "FedDRL"}
 
-// Figure5 reproduces the accuracy-vs-round timelines: for each dataset ×
-// partition (SmallN clients), the test accuracy of each method per
-// evaluated round. The fashion-sim series are 10-round smoothed, as in
-// the paper's plot.
-func Figure5(s Scale, seed uint64) string {
-	cache := newCache(s, seed)
-	defer cache.close()
-	var jobs []cellJob
+// figure5Jobs enumerates the Fig. 5 timeline cells: each non-MNIST
+// dataset × partition × federated method at SmallN clients.
+func figure5Jobs(s Scale, seed uint64) []CellSpec {
+	var jobs []CellSpec
 	for _, spec := range s.datasets() {
 		if spec.Name == "mnist-sim" {
 			continue
 		}
 		for _, part := range PartitionNames {
 			for _, m := range fedMethods {
-				jobs = append(jobs, cellJob{spec: spec, part: part, method: m, n: s.SmallN, k: s.K, delta: defaultDelta})
+				jobs = append(jobs, table3Spec(s, spec.Name, part, m, s.SmallN, seed))
 			}
 		}
 	}
-	cache.prefetch(jobs)
+	return jobs
+}
+
+// renderFigure5 reproduces the accuracy-vs-round timelines: for each
+// dataset × partition (SmallN clients), the test accuracy of each method
+// per evaluated round. The fashion-sim series are 10-round smoothed, as
+// in the paper's plot.
+func renderFigure5(s Scale, seed uint64, get ArtifactGetter) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 5: top-1 test accuracy (%%) vs communication round, %d clients\n\n", s.SmallN)
 	for _, spec := range s.datasets() {
@@ -43,19 +45,15 @@ func Figure5(s Scale, seed uint64) string {
 				Title:   fmt.Sprintf("%s / %s", spec.Name, part),
 				Headers: []string{"round", "FedAvg", "FedProx", "FedDRL"},
 			}
-			results := map[string]*fl.Result{}
-			for _, m := range fedMethods {
-				results[m] = cache.get(spec, part, m, s.SmallN, s.K, defaultDelta)
-			}
 			series := map[string]metrics.Series{}
-			for m, r := range results {
-				acc := r.Accuracy
+			for _, m := range fedMethods {
+				acc := get(table3Spec(s, spec.Name, part, m, s.SmallN, seed)).Accuracy
 				if strings.HasPrefix(spec.Name, "fashion") {
 					acc = acc.Smoothed(10)
 				}
 				series[m] = acc
 			}
-			ref := results["FedAvg"]
+			ref := get(table3Spec(s, spec.Name, part, "FedAvg", s.SmallN, seed))
 			for i, round := range ref.AccRounds {
 				tab.AddRow(fmt.Sprintf("%d", round),
 					metrics.F(series["FedAvg"][i]),
@@ -69,21 +67,28 @@ func Figure5(s Scale, seed uint64) string {
 	return b.String()
 }
 
-// Figure6 reproduces the robustness study: the mean and variance of the
-// per-client inference loss (tail-averaged), normalized to FedDRL, on the
-// 100-class dataset with SmallN clients. Values above 1.00 mean the
-// baseline is worse than FedDRL.
-func Figure6(s Scale, seed uint64) string {
-	cache := newCache(s, seed)
-	defer cache.close()
+// Figure5 runs the Fig. 5 grid in-process (Registry-compatible wrapper).
+func Figure5(s Scale, seed uint64) string { return runNamed("figure5", s, seed) }
+
+// figure6Jobs enumerates the Fig. 6 robustness cells: the 100-class
+// dataset × partition × federated method at SmallN clients.
+func figure6Jobs(s Scale, seed uint64) []CellSpec {
 	spec := s.datasets()[0] // cifar100-sim
-	var jobs []cellJob
+	var jobs []CellSpec
 	for _, part := range PartitionNames {
 		for _, m := range fedMethods {
-			jobs = append(jobs, cellJob{spec: spec, part: part, method: m, n: s.SmallN, k: s.K, delta: defaultDelta})
+			jobs = append(jobs, table3Spec(s, spec.Name, part, m, s.SmallN, seed))
 		}
 	}
-	cache.prefetch(jobs)
+	return jobs
+}
+
+// renderFigure6 reproduces the robustness study: the mean and variance
+// of the per-client inference loss (tail-averaged), normalized to
+// FedDRL, on the 100-class dataset with SmallN clients. Values above
+// 1.00 mean the baseline is worse than FedDRL.
+func renderFigure6(s Scale, seed uint64, get ArtifactGetter) string {
+	spec := s.datasets()[0] // cifar100-sim
 	tail := s.Rounds / 4
 	if tail < 1 {
 		tail = 1
@@ -105,9 +110,9 @@ func Figure6(s Scale, seed uint64) string {
 		means[part] = map[string]float64{}
 		vars[part] = map[string]float64{}
 		for _, m := range fedMethods {
-			r := cache.get(spec, part, m, s.SmallN, s.K, defaultDelta)
-			means[part][m] = r.ClientLossMeans().Tail(tail)
-			vars[part][m] = r.ClientLossVars().Tail(tail)
+			a := get(table3Spec(s, spec.Name, part, m, s.SmallN, seed))
+			means[part][m] = a.LossMean.Tail(tail)
+			vars[part][m] = a.LossVar.Tail(tail)
 		}
 	}
 	for _, m := range fedMethods {
@@ -127,6 +132,9 @@ func Figure6(s Scale, seed uint64) string {
 	return b.String()
 }
 
+// Figure6 runs the Fig. 6 grid in-process.
+func Figure6(s Scale, seed uint64) string { return runNamed("figure6", s, seed) }
+
 func ratioStr(v, ref float64) string {
 	if ref == 0 {
 		if v == 0 {
@@ -137,26 +145,38 @@ func ratioStr(v, ref float64) string {
 	return metrics.F(v / ref)
 }
 
-// Figure7 reproduces the participation sweep: accuracy on the 100-class
-// dataset (LargeN clients, CE partition) as the number of participating
-// clients K varies.
-func Figure7(s Scale, seed uint64) string {
+// figure7Spec builds one cell of the participation sweep (K varies; the
+// cell seed is offset by K, preserving the historical seeding).
+func figure7Spec(s Scale, k int, method string, seed uint64) CellSpec {
+	ds := s.datasets()[0] // cifar100-sim
+	return CellSpec{Dataset: ds.Name, Partition: "CE", Method: method, N: s.LargeN, K: k, Delta: defaultDelta, Seed: seed + uint64(k)}
+}
+
+// figure7Jobs enumerates the Fig. 7 sweep: KSweep × federated methods.
+func figure7Jobs(s Scale, seed uint64) []CellSpec {
+	var jobs []CellSpec
+	for _, k := range s.KSweep {
+		for _, m := range fedMethods {
+			jobs = append(jobs, figure7Spec(s, k, m, seed))
+		}
+	}
+	return jobs
+}
+
+// renderFigure7 reproduces the participation sweep: accuracy on the
+// 100-class dataset (LargeN clients, CE partition) as the number of
+// participating clients K varies.
+func renderFigure7(s Scale, seed uint64, get ArtifactGetter) string {
 	spec := s.datasets()[0] // cifar100-sim
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 7: accuracy vs participating clients K (%s, CE, N=%d)\n\n", spec.Name, s.LargeN)
 	tab := &metrics.Table{
 		Headers: append([]string{"K"}, fedMethods...),
 	}
-	// The sweep's (K × method) cells are independent: fan them out on
-	// the pool, then render rows in sweep order.
-	results := sweepGrid(s, len(s.KSweep), func(i, j int, pool *engine.Pool) *fl.Result {
-		k := s.KSweep[i]
-		return runMethodOn(s, spec, "CE", fedMethods[j], s.LargeN, k, defaultDelta, seed+uint64(k), pool)
-	})
-	for i, k := range s.KSweep {
+	for _, k := range s.KSweep {
 		row := []string{fmt.Sprintf("%d", k)}
-		for j := range fedMethods {
-			row = append(row, metrics.F(results[i][j].Best()))
+		for _, m := range fedMethods {
+			row = append(row, metrics.F(get(figure7Spec(s, k, m, seed)).Best()))
 		}
 		tab.AddRow(row...)
 	}
@@ -164,23 +184,61 @@ func Figure7(s Scale, seed uint64) string {
 	return b.String()
 }
 
-// Figure8 reproduces the non-IID-level sweep: accuracy on fashion-sim
-// (LargeN clients, CE partition) as the main-group share δ varies.
-func Figure8(s Scale, seed uint64) string {
+// renderFigure7Seeds is the seed-replicated Fig. 7: mean±std cells.
+func renderFigure7Seeds(s Scale, seed uint64, seeds int, get ArtifactGetter) string {
+	spec := s.datasets()[0]
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: accuracy vs participating clients K (%s, CE, N=%d), mean±std of %d seeds\n\n", spec.Name, s.LargeN, seeds)
+	tab := &metrics.Table{
+		Headers: append([]string{"K"}, fedMethods...),
+	}
+	for _, k := range s.KSweep {
+		row := []string{fmt.Sprintf("%d", k)}
+		for _, m := range fedMethods {
+			vals := replicateBests(get, figure7Spec(s, k, m, seed), seeds)
+			row = append(row, metrics.MeanStd(mathx.Mean(vals), mathx.Std(vals)))
+		}
+		tab.AddRow(row...)
+	}
+	b.WriteString(tab.RenderString())
+	return b.String()
+}
+
+// Figure7 runs the Fig. 7 sweep in-process.
+func Figure7(s Scale, seed uint64) string { return runNamed("figure7", s, seed) }
+
+// figure8Spec builds one cell of the non-IID sweep (delta varies; the
+// cell seed is offset by delta*100, preserving the historical seeding).
+func figure8Spec(s Scale, delta float64, method string, seed uint64) CellSpec {
+	ds := s.datasets()[1] // fashion-sim
+	return CellSpec{Dataset: ds.Name, Partition: "CE", Method: method, N: s.LargeN, K: s.K, Delta: delta, Seed: seed + uint64(delta*100)}
+}
+
+// figure8Jobs enumerates the Fig. 8 sweep: Deltas × federated methods.
+func figure8Jobs(s Scale, seed uint64) []CellSpec {
+	var jobs []CellSpec
+	for _, delta := range s.Deltas {
+		for _, m := range fedMethods {
+			jobs = append(jobs, figure8Spec(s, delta, m, seed))
+		}
+	}
+	return jobs
+}
+
+// renderFigure8 reproduces the non-IID-level sweep: accuracy on
+// fashion-sim (LargeN clients, CE partition) as the main-group share δ
+// varies.
+func renderFigure8(s Scale, seed uint64, get ArtifactGetter) string {
 	spec := s.datasets()[1] // fashion-sim
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 8: accuracy vs non-IID level delta (%s, CE, N=%d)\n\n", spec.Name, s.LargeN)
 	tab := &metrics.Table{
 		Headers: append([]string{"delta"}, fedMethods...),
 	}
-	results := sweepGrid(s, len(s.Deltas), func(i, j int, pool *engine.Pool) *fl.Result {
-		delta := s.Deltas[i]
-		return runMethodOn(s, spec, "CE", fedMethods[j], s.LargeN, s.K, delta, seed+uint64(delta*100), pool)
-	})
-	for i, delta := range s.Deltas {
+	for _, delta := range s.Deltas {
 		row := []string{fmt.Sprintf("%.1f", delta)}
-		for j := range fedMethods {
-			row = append(row, metrics.F(results[i][j].Best()))
+		for _, m := range fedMethods {
+			row = append(row, metrics.F(get(figure8Spec(s, delta, m, seed)).Best()))
 		}
 		tab.AddRow(row...)
 	}
@@ -188,39 +246,48 @@ func Figure8(s Scale, seed uint64) string {
 	return b.String()
 }
 
-// sweepGrid runs a rows × len(fedMethods) grid of independent cells on
-// the scale's pool and returns the results indexed [row][method]. Cell
-// (i, j) is computed by run exactly once; ordering never leaks into the
-// results because each cell derives all randomness from its own seed.
-func sweepGrid(s Scale, rows int, run func(i, j int, pool *engine.Pool) *fl.Result) [][]*fl.Result {
-	pool := s.newPool()
-	defer pool.Close()
-	results := make([][]*fl.Result, rows)
-	for i := range results {
-		results[i] = make([]*fl.Result, len(fedMethods))
+// renderFigure8Seeds is the seed-replicated Fig. 8: mean±std cells.
+func renderFigure8Seeds(s Scale, seed uint64, seeds int, get ArtifactGetter) string {
+	spec := s.datasets()[1]
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: accuracy vs non-IID level delta (%s, CE, N=%d), mean±std of %d seeds\n\n", spec.Name, s.LargeN, seeds)
+	tab := &metrics.Table{
+		Headers: append([]string{"delta"}, fedMethods...),
 	}
-	pool.For(rows*len(fedMethods), func(idx int) {
-		i, j := idx/len(fedMethods), idx%len(fedMethods)
-		results[i][j] = run(i, j, pool)
-	})
-	return results
+	for _, delta := range s.Deltas {
+		row := []string{fmt.Sprintf("%.1f", delta)}
+		for _, m := range fedMethods {
+			vals := replicateBests(get, figure8Spec(s, delta, m, seed), seeds)
+			row = append(row, metrics.MeanStd(mathx.Mean(vals), mathx.Std(vals)))
+		}
+		tab.AddRow(row...)
+	}
+	b.WriteString(tab.RenderString())
+	return b.String()
 }
 
-// Figure10 reproduces the convergence study: communication rounds needed
-// by each method to reach the target accuracy (the minimum best accuracy
-// across methods, as in §5.2), per dataset × partition at SmallN clients.
-func Figure10(s Scale, seed uint64) string {
-	cache := newCache(s, seed)
-	defer cache.close()
-	var jobs []cellJob
+// Figure8 runs the Fig. 8 sweep in-process.
+func Figure8(s Scale, seed uint64) string { return runNamed("figure8", s, seed) }
+
+// figure10Jobs enumerates the Fig. 10 convergence cells: every dataset ×
+// partition × federated method at SmallN clients.
+func figure10Jobs(s Scale, seed uint64) []CellSpec {
+	var jobs []CellSpec
 	for _, spec := range s.datasets() {
 		for _, part := range PartitionNames {
 			for _, m := range fedMethods {
-				jobs = append(jobs, cellJob{spec: spec, part: part, method: m, n: s.SmallN, k: s.K, delta: defaultDelta})
+				jobs = append(jobs, table3Spec(s, spec.Name, part, m, s.SmallN, seed))
 			}
 		}
 	}
-	cache.prefetch(jobs)
+	return jobs
+}
+
+// renderFigure10 reproduces the convergence study: communication rounds
+// needed by each method to reach the target accuracy (the minimum best
+// accuracy across methods, as in §5.2), per dataset × partition at
+// SmallN clients.
+func renderFigure10(s Scale, seed uint64, get ArtifactGetter) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Figure 10: rounds to reach target accuracy (target = min of methods' best), %d clients\n\n", s.SmallN)
 	tab := &metrics.Table{
@@ -228,23 +295,23 @@ func Figure10(s Scale, seed uint64) string {
 	}
 	for _, spec := range s.datasets() {
 		for _, part := range PartitionNames {
-			results := map[string]*fl.Result{}
+			arts := map[string]*CellArtifact{}
 			target := -1.0
 			for _, m := range fedMethods {
-				r := cache.get(spec, part, m, s.SmallN, s.K, defaultDelta)
-				results[m] = r
-				if target < 0 || r.Best() < target {
-					target = r.Best()
+				a := get(table3Spec(s, spec.Name, part, m, s.SmallN, seed))
+				arts[m] = a
+				if target < 0 || a.Best() < target {
+					target = a.Best()
 				}
 			}
 			row := []string{spec.Name, part, metrics.F(target)}
 			for _, m := range fedMethods {
 				// Translate eval index to communication round.
-				idx := results[m].Accuracy.RoundsToTarget(target)
+				idx := arts[m].Accuracy.RoundsToTarget(target)
 				if idx < 0 {
 					row = append(row, "n/a")
 				} else {
-					row = append(row, fmt.Sprintf("%d", results[m].AccRounds[idx-1]+1))
+					row = append(row, fmt.Sprintf("%d", arts[m].AccRounds[idx-1]+1))
 				}
 			}
 			tab.AddRow(row...)
@@ -253,6 +320,9 @@ func Figure10(s Scale, seed uint64) string {
 	b.WriteString(tab.RenderString())
 	return b.String()
 }
+
+// Figure10 runs the Fig. 10 grid in-process.
+func Figure10(s Scale, seed uint64) string { return runNamed("figure10", s, seed) }
 
 // dsByName finds a scaled dataset spec by prefix (helper for tools).
 func dsByName(s Scale, name string) (dataset.Spec, error) {

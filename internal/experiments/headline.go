@@ -8,32 +8,56 @@ import (
 	"feddrl/internal/metrics"
 )
 
-// Headline tests the paper's core claim with seed averaging: under
+// headlineSeeds is the fixed replicate count of the headline runner
+// (the grid already carries its own seed averaging, so it does not also
+// support -seeds).
+const headlineSeeds = 3
+
+var (
+	headlineParts   = []string{"CE", "CN"}
+	headlineMethods = []string{"FedAvg", "FedDRL"}
+)
+
+// headlineJobs enumerates the headline grid: every dataset ×
+// {SmallN, LargeN} × {CE, CN} × {FedAvg, FedDRL} × three seed
+// replicates (stride seedStride, the historical 1009).
+func headlineJobs(s Scale, seed uint64) []CellSpec {
+	var jobs []CellSpec
+	for _, spec := range s.datasets() {
+		for _, n := range []int{s.SmallN, s.LargeN} {
+			for _, part := range headlineParts {
+				for _, m := range headlineMethods {
+					for r := 0; r < headlineSeeds; r++ {
+						jobs = append(jobs, replicateSpec(table3Spec(s, spec.Name, part, m, n, seed), r))
+					}
+				}
+			}
+		}
+	}
+	return jobs
+}
+
+// renderHeadline tests the paper's core claim with seed averaging: under
 // cluster skew (CE, CN) FedDRL's learned aggregation should match or
 // beat FedAvg, with the gap widening at higher client counts (§4.2.1's
 // reading of Table 3). Single-seed cells at reduced scale carry ±
-// several points of noise; this runner repeats each cell over `seeds`
-// runs and reports mean ± std, which is what EXPERIMENTS.md quotes.
-func Headline(s Scale, seed uint64) string {
-	const seeds = 3
+// several points of noise; each cell is repeated over headlineSeeds
+// runs and reported as mean ± std, which is what EXPERIMENTS.md quotes.
+func renderHeadline(s Scale, seed uint64, get ArtifactGetter) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Headline claim (Table 3's CE/CN columns, mean of %d seeds): FedDRL vs FedAvg under cluster skew\n\n", seeds)
+	fmt.Fprintf(&b, "Headline claim (Table 3's CE/CN columns, mean of %d seeds): FedDRL vs FedAvg under cluster skew\n\n", headlineSeeds)
 	tab := &metrics.Table{
 		Headers: []string{"dataset", "N", "partition", "FedAvg", "FedDRL", "delta"},
 	}
 	for _, spec := range s.datasets() {
 		for _, n := range []int{s.SmallN, s.LargeN} {
-			for _, part := range []string{"CE", "CN"} {
-				var avg, drl []float64
-				for r := 0; r < seeds; r++ {
-					cellSeed := seed + uint64(r)*1009
-					avg = append(avg, runMethod(s, spec, part, "FedAvg", n, s.K, defaultDelta, cellSeed).Best())
-					drl = append(drl, runMethod(s, spec, part, "FedDRL", n, s.K, defaultDelta, cellSeed).Best())
-				}
+			for _, part := range headlineParts {
+				avg := replicateBests(get, table3Spec(s, spec.Name, part, "FedAvg", n, seed), headlineSeeds)
+				drl := replicateBests(get, table3Spec(s, spec.Name, part, "FedDRL", n, seed), headlineSeeds)
 				ma, md := mathx.Mean(avg), mathx.Mean(drl)
 				tab.AddRow(spec.Name, fmt.Sprintf("%d", n), part,
-					fmt.Sprintf("%.2f±%.2f", ma, mathx.Std(avg)),
-					fmt.Sprintf("%.2f±%.2f", md, mathx.Std(drl)),
+					metrics.MeanStd(ma, mathx.Std(avg)),
+					metrics.MeanStd(md, mathx.Std(drl)),
 					fmt.Sprintf("%+.2f", md-ma))
 			}
 		}
@@ -42,3 +66,6 @@ func Headline(s Scale, seed uint64) string {
 	b.WriteString("\n(positive delta = FedDRL better; the paper's shape is parity-to-positive\non CE/CN, with larger deltas at the larger client count)\n")
 	return b.String()
 }
+
+// Headline runs the headline grid in-process.
+func Headline(s Scale, seed uint64) string { return runNamed("headline", s, seed) }

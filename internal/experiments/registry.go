@@ -6,28 +6,62 @@ import (
 )
 
 // Runner executes one experiment at a scale and returns its rendered
-// text output.
+// text output. Monolithic experiments (pure partition statistics,
+// timing studies, the ablations) are registered as Runners; grid
+// experiments decompose further — see Experiment.
 type Runner func(s Scale, seed uint64) string
 
+// ArtifactGetter resolves a cell spec to its computed artifact. Inside
+// one process it is backed by the artifact store (computing on demand);
+// in the merge path it is backed by decoded shard files.
+type ArtifactGetter func(spec CellSpec) *CellArtifact
+
+// Experiment is a registry entry. Grid experiments define Jobs (the
+// serializable cell decomposition) and Render (a pure artifact→text
+// formatter); those are the experiments that support -shard/-merge.
+// SeedsRender additionally enables -seeds m (mean±std over seed
+// replicates). Monolithic experiments define only Mono.
+type Experiment struct {
+	// Jobs enumerates the grid's cells in canonical order (the order
+	// that defines shard assignment). nil marks a monolithic experiment.
+	Jobs func(s Scale, seed uint64) []CellSpec
+	// Render formats the grid's artifacts into the experiment's text
+	// output. It must consult artifacts only through get, never run
+	// training itself.
+	Render func(s Scale, seed uint64, get ArtifactGetter) string
+	// SeedsRender renders the seeds-replicated grid with mean±std
+	// cells; nil means the experiment does not support -seeds.
+	SeedsRender func(s Scale, seed uint64, seeds int, get ArtifactGetter) string
+	// Mono runs a monolithic experiment end to end.
+	Mono Runner
+}
+
+// Shardable reports whether the entry decomposes into jobs.
+func (e Experiment) Shardable() bool { return e.Jobs != nil }
+
+func mono(r Runner) Experiment { return Experiment{Mono: r} }
+
 // Registry maps experiment ids (the paper's table/figure numbers plus
-// the DESIGN.md ablations) to their runners.
-var Registry = map[string]Runner{
-	"table2":             Table2,
-	"figure4":            Figure4,
-	"table3":             Table3,
-	"figure5":            Figure5,
-	"figure6":            Figure6,
-	"figure7":            Figure7,
-	"figure8":            Figure8,
-	"figure9":            Figure9,
-	"figure10":           Figure10,
-	"table4":             Table4,
-	"ablation-reward":    AblationRewardGap,
-	"ablation-statenorm": AblationStateNorm,
-	"ablation-twostage":  AblationTwoStage,
-	"ablation-prior":     AblationPrior,
-	"comm-overhead":      CommOverhead,
-	"headline":           Headline,
+// the DESIGN.md ablations) to their definitions.
+var Registry = map[string]Experiment{
+	"table2":  mono(Table2),
+	"figure4": mono(Figure4),
+	"table3":  {Jobs: table3Jobs, Render: renderTable3, SeedsRender: renderTable3Seeds},
+	"figure5": {Jobs: figure5Jobs, Render: renderFigure5},
+	"figure6": {Jobs: figure6Jobs, Render: renderFigure6},
+	"figure7": {Jobs: figure7Jobs, Render: renderFigure7, SeedsRender: renderFigure7Seeds},
+	"figure8": {Jobs: figure8Jobs, Render: renderFigure8, SeedsRender: renderFigure8Seeds},
+	"figure9": mono(Figure9),
+	"figure10": {
+		Jobs: figure10Jobs, Render: renderFigure10,
+	},
+	"table4":             {Jobs: table4Jobs, Render: renderTable4},
+	"ablation-reward":    mono(AblationRewardGap),
+	"ablation-statenorm": mono(AblationStateNorm),
+	"ablation-twostage":  mono(AblationTwoStage),
+	"ablation-prior":     mono(AblationPrior),
+	"comm-overhead":      mono(CommOverhead),
+	"headline":           {Jobs: headlineJobs, Render: renderHeadline},
 }
 
 // Names returns the registered experiment ids in sorted order.
@@ -40,11 +74,32 @@ func Names() []string {
 	return names
 }
 
-// Run executes a registered experiment by id.
+// Shardable reports whether an experiment id supports -shard/-merge.
+func Shardable(name string) bool {
+	e, ok := Registry[name]
+	return ok && e.Shardable()
+}
+
+// Run executes a registered experiment by id: monolithic runners
+// directly, grid experiments through the spec→artifact→render pipeline
+// on the scale's engine pool.
 func Run(name string, s Scale, seed uint64) (string, error) {
-	r, ok := Registry[name]
+	e, ok := Registry[name]
 	if !ok {
 		return "", fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
 	}
-	return r(s, seed), nil
+	if e.Mono != nil {
+		return e.Mono(s, seed), nil
+	}
+	return runGrid(e, s, seed), nil
+}
+
+// runNamed is Run for ids known to exist (the exported per-experiment
+// wrappers like Figure5).
+func runNamed(name string, s Scale, seed uint64) string {
+	out, err := Run(name, s, seed)
+	if err != nil {
+		panic(err)
+	}
+	return out
 }

@@ -60,13 +60,9 @@ func (s Scale) drlConfig(k int, seed uint64) core.Config {
 	return cfg
 }
 
-// runMethod executes one (dataset, partition, N, method) cell and returns
-// its result. delta applies to the clustered partitions only.
-func runMethod(s Scale, spec dataset.Spec, partName, method string, n, k int, delta float64, seed uint64) *fl.Result {
-	return runMethodOn(s, spec, partName, method, n, k, delta, seed, nil)
-}
-
-// runMethodOn is runMethod executing on a shared engine pool: the cell's
+// runMethodOn executes one (dataset, partition, N, method) cell on a shared
+// engine pool and returns its result. delta applies to the clustered
+// partitions only. The cell's
 // client training, evaluation and aggregation all borrow the pool's
 // lanes, so many cells can run concurrently under one global worker
 // bound. A nil pool falls back to the scale's own Workers setting.
@@ -107,78 +103,74 @@ func runMethodOn(s Scale, spec dataset.Spec, partName, method string, n, k int, 
 	return fl.Run(cfg, clients, test, agg)
 }
 
-// cellKey identifies one experiment cell for caching across runners.
-type cellKey struct {
-	ds, part, method string
-	n                int
-	delta            float64
-}
-
-// resultCache avoids recomputing identical (dataset, partition, method)
-// runs when several figures share them within one process. It owns the
-// experiment invocation's engine pool: prefetch fans independent cells
-// out across the pool's lanes, and every cell's inner federated run
-// borrows the same lanes, keeping total parallelism bounded.
-type resultCache struct {
+// artifactStore executes cell jobs and caches their artifacts within one
+// experiment invocation. It owns the invocation's engine pool: prefetch
+// fans independent cells out across the pool's lanes, and every cell's
+// inner federated run borrows the same lanes, keeping total parallelism
+// bounded. Every grid entry point must release the pool with
+// `defer st.close()` so a panicking cell run cannot leak it.
+type artifactStore struct {
 	s     Scale
-	seed  uint64
 	pool  *engine.Pool
-	cells map[cellKey]*fl.Result
+	cells map[string]*CellArtifact
 }
 
-func newCache(s Scale, seed uint64) *resultCache {
-	return &resultCache{s: s, seed: seed, pool: s.newPool(), cells: map[cellKey]*fl.Result{}}
+func newStore(s Scale) *artifactStore {
+	return &artifactStore{s: s, pool: s.newPool(), cells: map[string]*CellArtifact{}}
 }
 
-// close releases the cache's pool (idempotent; nil-safe).
-func (c *resultCache) close() { c.pool.Close() }
+// close releases the store's pool (idempotent; nil-safe).
+func (st *artifactStore) close() { st.pool.Close() }
 
-// cellJob fully describes one runnable experiment cell.
-type cellJob struct {
-	spec   dataset.Spec
-	part   string
-	method string
-	n, k   int
-	delta  float64
-}
-
-func (j cellJob) key() cellKey {
-	return cellKey{ds: j.spec.Name, part: j.part, method: j.method, n: j.n, delta: j.delta}
+// compute runs one cell spec to an artifact on the store's pool.
+func (st *artifactStore) compute(spec CellSpec) *CellArtifact {
+	ds := st.s.datasetByName(spec.Dataset)
+	res := runMethodOn(st.s, ds, spec.Partition, spec.Method, spec.N, spec.K, spec.Delta, spec.Seed, st.pool)
+	return artifactOf(spec, res)
 }
 
 // prefetch computes every not-yet-cached job, independent cells in
 // parallel on the pool. Results land in per-job slots and are committed
-// to the map only after the barrier, so no lock is needed and the cache
+// to the map only after the barrier, so no lock is needed and the store
 // contents do not depend on completion order. Callers must enumerate
 // the same cells their rendering loop will get(): a cell missing from
 // the job list still computes correctly, just sequentially.
-func (c *resultCache) prefetch(jobs []cellJob) {
-	pending := make([]cellJob, 0, len(jobs))
-	queued := map[cellKey]bool{}
+func (st *artifactStore) prefetch(jobs []CellSpec) {
+	pending := make([]CellSpec, 0, len(jobs))
+	queued := map[string]bool{}
 	for _, j := range jobs {
-		key := j.key()
-		if _, done := c.cells[key]; done || queued[key] {
+		key := j.Key()
+		if _, done := st.cells[key]; done || queued[key] {
 			continue
 		}
 		queued[key] = true
 		pending = append(pending, j)
 	}
-	results := make([]*fl.Result, len(pending))
-	c.pool.For(len(pending), func(i int) {
-		j := pending[i]
-		results[i] = runMethodOn(c.s, j.spec, j.part, j.method, j.n, j.k, j.delta, c.seed, c.pool)
+	results := make([]*CellArtifact, len(pending))
+	st.pool.For(len(pending), func(i int) {
+		results[i] = st.compute(pending[i])
 	})
 	for i, j := range pending {
-		c.cells[j.key()] = results[i]
+		st.cells[j.Key()] = results[i]
 	}
 }
 
-func (c *resultCache) get(spec dataset.Spec, part, method string, n, k int, delta float64) *fl.Result {
-	key := cellKey{ds: spec.Name, part: part, method: method, n: n, delta: delta}
-	if r, ok := c.cells[key]; ok {
-		return r
+// get returns the cell's artifact, computing it on demand.
+func (st *artifactStore) get(spec CellSpec) *CellArtifact {
+	key := spec.Key()
+	if a, ok := st.cells[key]; ok {
+		return a
 	}
-	r := runMethodOn(c.s, spec, part, method, n, k, delta, c.seed, c.pool)
-	c.cells[key] = r
-	return r
+	a := st.compute(spec)
+	st.cells[key] = a
+	return a
+}
+
+// runGrid is the single-process execution path of a grid experiment:
+// enumerate jobs, compute artifacts concurrently, render.
+func runGrid(e Experiment, s Scale, seed uint64) string {
+	st := newStore(s)
+	defer st.close()
+	st.prefetch(e.Jobs(s, seed))
+	return e.Render(s, seed, st.get)
 }

@@ -6,9 +6,12 @@
 // inference-loss robustness), Figure 7 (participation sweep), Figure 8
 // (non-IID level sweep), Figure 9 (server computation time) and Figure 10
 // (convergence rounds), plus the design ablations called out in
-// DESIGN.md. Each experiment is a named Runner in Registry, so the CLI
+// DESIGN.md. Each experiment is a named entry in Registry, so the CLI
 // (cmd/tables), the benchmarks (bench_test.go) and tests all share one
-// implementation.
+// implementation. Grid experiments decompose into serializable CellSpec
+// jobs whose CellArtifact results render in a pure merge/format stage,
+// which is what enables cross-process sharding (tables -shard/-merge)
+// and seed replication (-seeds).
 package experiments
 
 import (
@@ -177,6 +180,17 @@ func (s Scale) datasets() []dataset.Spec {
 		dataset.FashionSim().Scaled(s.DataScale),
 		dataset.MNISTSim().Scaled(s.DataScale),
 	}
+}
+
+// datasetByName resolves one of the scale's dataset specs by exact name
+// (the executable form of CellSpec.Dataset).
+func (s Scale) datasetByName(name string) dataset.Spec {
+	for _, spec := range s.datasets() {
+		if spec.Name == name {
+			return spec
+		}
+	}
+	panic(fmt.Sprintf("experiments: unknown dataset %q in cell spec", name))
 }
 
 // labelsPerClient mirrors §4.1.1: 2 labels per client, 20 for the

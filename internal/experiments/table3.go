@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"feddrl/internal/mathx"
 	"feddrl/internal/metrics"
 )
 
@@ -43,38 +44,55 @@ type Table3Result struct {
 	Cells []Table3Cell
 }
 
-// RunTable3 executes the full Table 3 grid: three datasets × {PA, CE, CN}
-// × {SmallN, LargeN} clients × four methods. Independent cells run
-// concurrently on the scale's engine pool (Scale.Workers); each cell is
-// seeded independently, so the rendered table is identical at any width.
-func RunTable3(s Scale, seed uint64) *Table3Result {
-	cache := newCache(s, seed)
-	defer cache.close()
-	var jobs []cellJob
+// table3Spec builds the cell spec of one Table 3 grid cell.
+func table3Spec(s Scale, ds, part, method string, n int, seed uint64) CellSpec {
+	return CellSpec{Dataset: ds, Partition: part, Method: method, N: n, K: s.K, Delta: defaultDelta, Seed: seed}
+}
+
+// table3Jobs enumerates the full Table 3 grid: three datasets ×
+// {PA, CE, CN} × {SmallN, LargeN} clients × four methods, in canonical
+// (shard-defining) order.
+func table3Jobs(s Scale, seed uint64) []CellSpec {
+	var jobs []CellSpec
 	for _, spec := range s.datasets() {
 		for _, n := range []int{s.SmallN, s.LargeN} {
 			for _, part := range PartitionNames {
 				for _, m := range Methods {
-					jobs = append(jobs, cellJob{spec: spec, part: part, method: m, n: n, k: s.K, delta: defaultDelta})
+					jobs = append(jobs, table3Spec(s, spec.Name, part, m, n, seed))
 				}
 			}
 		}
 	}
-	cache.prefetch(jobs)
+	return jobs
+}
+
+// BuildTable3 assembles the Table 3 result from cell artifacts — the
+// pure merge stage shared by unsharded runs and shard merges.
+func BuildTable3(s Scale, seed uint64, get ArtifactGetter) *Table3Result {
 	res := &Table3Result{Scale: s.Name}
 	for _, spec := range s.datasets() {
 		for _, n := range []int{s.SmallN, s.LargeN} {
 			for _, part := range PartitionNames {
 				cell := Table3Cell{Dataset: spec.Name, Partition: part, N: n, Best: map[string]float64{}}
 				for _, m := range Methods {
-					r := cache.get(spec, part, m, n, s.K, defaultDelta)
-					cell.Best[m] = r.Best()
+					cell.Best[m] = get(table3Spec(s, spec.Name, part, m, n, seed)).Best()
 				}
 				res.Cells = append(res.Cells, cell)
 			}
 		}
 	}
 	return res
+}
+
+// RunTable3 executes the full Table 3 grid in-process. Independent
+// cells run concurrently on the scale's engine pool (Scale.Workers);
+// each cell is seeded independently, so the rendered table is identical
+// at any width.
+func RunTable3(s Scale, seed uint64) *Table3Result {
+	st := newStore(s)
+	defer st.close()
+	st.prefetch(table3Jobs(s, seed))
+	return BuildTable3(s, seed, st.get)
 }
 
 // Render prints the Table 3 layout: one block per (dataset, N), rows =
@@ -133,5 +151,71 @@ func findCell(cells []Table3Cell, part string) Table3Cell {
 	panic(fmt.Sprintf("experiments: missing Table 3 cell for partition %q", part))
 }
 
-// Table3 is the Registry entry point.
+// renderTable3 is the Registry render stage.
+func renderTable3(s Scale, seed uint64, get ArtifactGetter) string {
+	return BuildTable3(s, seed, get).Render()
+}
+
+// renderTable3Seeds renders the seed-replicated Table 3: every cell is
+// mean±std of the replicates' best accuracies, and the impr.(a)/(b)
+// rows are computed from the mean values.
+func renderTable3Seeds(s Scale, seed uint64, seeds int, get ArtifactGetter) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: best top-1 test accuracy (%%), mean±std of %d seeds, scale=%s\n\n", seeds, s.Name)
+	for _, spec := range s.datasets() {
+		for _, n := range []int{s.SmallN, s.LargeN} {
+			tab := &metrics.Table{
+				Title:   fmt.Sprintf("%s, %d clients", spec.Name, n),
+				Headers: append([]string{"method"}, PartitionNames...),
+			}
+			// Collect each cell's replicate values once; the mean±std
+			// rows and the impr rows both derive from bests.
+			bests := map[string]map[string][]float64{} // part → method → replicate bests
+			meanCells := map[string]Table3Cell{}
+			for _, part := range PartitionNames {
+				bests[part] = map[string][]float64{}
+				cell := Table3Cell{Dataset: spec.Name, Partition: part, N: n, Best: map[string]float64{}}
+				for _, m := range Methods {
+					vals := replicateBests(get, table3Spec(s, spec.Name, part, m, n, seed), seeds)
+					bests[part][m] = vals
+					cell.Best[m] = mathx.Mean(vals)
+				}
+				meanCells[part] = cell
+			}
+			for _, m := range Methods {
+				row := []string{m}
+				for _, part := range PartitionNames {
+					vals := bests[part][m]
+					row = append(row, metrics.MeanStd(mathx.Mean(vals), mathx.Std(vals)))
+				}
+				tab.AddRow(row...)
+			}
+			ra := []string{"impr.(a)"}
+			rb := []string{"impr.(b)"}
+			for _, part := range PartitionNames {
+				c := meanCells[part]
+				ra = append(ra, metrics.Pct(c.ImprA()))
+				rb = append(rb, metrics.Pct(c.ImprB()))
+			}
+			tab.AddRow(ra...)
+			tab.AddRow(rb...)
+			b.WriteString(tab.RenderString())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// replicateBests collects the best accuracies of a cell's seed
+// replicates.
+func replicateBests(get ArtifactGetter, spec CellSpec, seeds int) []float64 {
+	vals := make([]float64, seeds)
+	for r := 0; r < seeds; r++ {
+		vals[r] = get(replicateSpec(spec, r)).Best()
+	}
+	return vals
+}
+
+// Table3 renders the single-seed Table 3 (the Registry entry's
+// historical signature, kept for library users and tests).
 func Table3(s Scale, seed uint64) string { return RunTable3(s, seed).Render() }

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"feddrl/internal/engine"
 	"feddrl/internal/serialize"
 )
 
@@ -107,6 +108,14 @@ func CompressionError(weights, base []float64, d SparseDelta) float64 {
 // CompressUpdates converts a round's dense updates into sparse deltas
 // against the global model, keeping a fraction of coordinates.
 func CompressUpdates(updates []Update, global []float64, keepFrac float64) []SparseDelta {
+	return CompressUpdatesOn(updates, global, keepFrac, nil)
+}
+
+// CompressUpdatesOn is CompressUpdates executed on an engine pool: the
+// per-client top-k selections are independent, so they fan out across
+// the pool's lanes, one update per index slot. A nil pool runs inline.
+// The result is bit-identical to the sequential path at any pool width.
+func CompressUpdatesOn(updates []Update, global []float64, keepFrac float64, pool *engine.Pool) []SparseDelta {
 	if keepFrac <= 0 || keepFrac > 1 {
 		panic(fmt.Sprintf("fl: keepFrac %v out of (0,1]", keepFrac))
 	}
@@ -115,9 +124,9 @@ func CompressUpdates(updates []Update, global []float64, keepFrac float64) []Spa
 		k = 1
 	}
 	out := make([]SparseDelta, len(updates))
-	for i, u := range updates {
-		out[i] = CompressTopK(u.Weights, global, k)
-	}
+	pool.For(len(updates), func(i int) {
+		out[i] = CompressTopK(updates[i].Weights, global, k)
+	})
 	return out
 }
 

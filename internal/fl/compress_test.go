@@ -2,10 +2,12 @@ package fl
 
 import (
 	"math"
+	"reflect"
 	"testing"
 	"testing/quick"
 
 	"feddrl/internal/core"
+	"feddrl/internal/engine"
 	"feddrl/internal/partition"
 	"feddrl/internal/rng"
 )
@@ -98,6 +100,38 @@ func TestCompressPanics(t *testing.T) {
 			}()
 			f()
 		}()
+	}
+}
+
+// TestCompressUpdatesParallelDeterminism is the determinism gate for
+// the pooled top-k compression: at any engine width the sparse deltas
+// must be bit-identical to the sequential path.
+func TestCompressUpdatesParallelDeterminism(t *testing.T) {
+	r := rng.New(11)
+	dim := 257
+	global := make([]float64, dim)
+	for i := range global {
+		global[i] = r.Normal(0, 1)
+	}
+	updates := make([]Update, 9)
+	for u := range updates {
+		w := make([]float64, dim)
+		for i := range w {
+			w[i] = global[i] + r.Normal(0, 0.3)
+		}
+		updates[u] = Update{ClientID: u, Weights: w, N: 10 + u}
+	}
+	want := CompressUpdates(updates, global, 0.1)
+	for _, workers := range []int{2, 4, 8} {
+		pool := engine.New(workers)
+		got := CompressUpdatesOn(updates, global, 0.1, pool)
+		pool.Close()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: pooled compression differs from sequential", workers)
+		}
+	}
+	if got := CompressUpdatesOn(updates, global, 0.1, nil); !reflect.DeepEqual(got, want) {
+		t.Fatal("nil-pool compression differs from sequential")
 	}
 }
 

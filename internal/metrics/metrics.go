@@ -187,5 +187,9 @@ func (t *Table) RenderString() string {
 // F formats a float with 2 decimals for table cells.
 func F(v float64) string { return fmt.Sprintf("%.2f", v) }
 
+// MeanStd formats a seed-replicated cell as "mean±std" with 2 decimals
+// (the Table 3 -seeds and headline reporting format).
+func MeanStd(mean, std float64) string { return fmt.Sprintf("%.2f±%.2f", mean, std) }
+
 // Pct formats a percentage with 2 decimals and a % sign.
 func Pct(v float64) string { return fmt.Sprintf("%.2f%%", v) }

@@ -169,4 +169,7 @@ func TestFormatters(t *testing.T) {
 	if Pct(4.049) != "4.05%" {
 		t.Fatalf("Pct = %q", Pct(4.049))
 	}
+	if MeanStd(12.345, 0.678) != "12.35±0.68" {
+		t.Fatalf("MeanStd = %q", MeanStd(12.345, 0.678))
+	}
 }

@@ -12,6 +12,7 @@ package serialize
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -181,6 +182,22 @@ func Read(r io.Reader) (*Checkpoint, error) {
 		c.Vectors[k] = v
 	}
 	return c, nil
+}
+
+// Encode returns the checkpoint serialized to a byte slice — the
+// in-memory counterpart of SaveFile, used by the experiment shard
+// artifacts and their round-trip tests.
+func (c *Checkpoint) Encode() ([]byte, error) {
+	var b bytes.Buffer
+	if err := c.Write(&b); err != nil {
+		return nil, err
+	}
+	return b.Bytes(), nil
+}
+
+// Decode parses a checkpoint from a byte slice written by Encode.
+func Decode(data []byte) (*Checkpoint, error) {
+	return Read(bytes.NewReader(data))
 }
 
 // SaveFile writes the checkpoint to a file path.

@@ -96,6 +96,26 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEncodeDecodeBytes(t *testing.T) {
+	c := NewCheckpoint()
+	c.Meta["kind"] = "test"
+	c.Vectors["v"] = []float64{3.5, -0.25, 0}
+	data, err := c.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta["kind"] != "test" || len(got.Vectors["v"]) != 3 || got.Vectors["v"][0] != 3.5 {
+		t.Fatalf("byte round trip lost data: %+v", got)
+	}
+	if _, err := Decode(data[:3]); err == nil {
+		t.Fatal("truncated bytes decoded")
+	}
+}
+
 func TestCheckpointFileRoundTrip(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "ckpt.bin")

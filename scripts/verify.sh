@@ -1,6 +1,7 @@
 #!/bin/sh
 # Tier-1 verification gate (same sequence as `make verify`):
-# vet + build + full tests, then race coverage on the engine paths.
+# vet + build + full tests, then race coverage on the engine paths,
+# then the shard-merge round-trip gate on the real CLI.
 set -eux
 
 go vet ./...
@@ -8,3 +9,15 @@ go build ./...
 go test ./...
 go test -race ./internal/engine/... ./internal/fl/...
 go test -race -run TestConcurrentFanOutSmoke ./internal/experiments/
+
+# Shard-merge round trip: running Table 3 as two shards and merging the
+# artifact files must reproduce the unsharded output byte for byte
+# (modulo the one-line timing header, which `tail -n +2` strips).
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+go build -o "$tmp/tables" ./cmd/tables
+"$tmp/tables" -exp table3 -scale ci -rounds 2 -seed 1 | tail -n +2 > "$tmp/unsharded.txt"
+"$tmp/tables" -exp table3 -scale ci -rounds 2 -seed 1 -shard 1/2 -out "$tmp/shards/s1.art"
+"$tmp/tables" -exp table3 -scale ci -rounds 2 -seed 1 -shard 2/2 -out "$tmp/shards/s2.art"
+"$tmp/tables" -merge "$tmp/shards" | tail -n +2 > "$tmp/merged.txt"
+diff "$tmp/unsharded.txt" "$tmp/merged.txt"
