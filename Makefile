@@ -1,7 +1,7 @@
 # Tier-1 verification gate. `make verify` is what CI and pre-merge runs.
 GO ?= go
 
-.PHONY: verify vet build test race bench clean
+.PHONY: verify vet build test race bench fuzz clean
 
 verify: vet build test race
 
@@ -20,10 +20,16 @@ test:
 # exercises the same concurrent machinery in seconds).
 race:
 	$(GO) test -race ./internal/engine/... ./internal/fl/...
-	$(GO) test -race -run TestConcurrentFanOutSmoke ./internal/experiments/
+	$(GO) test -race -run 'TestConcurrentFanOutSmoke|TestCacheConcurrentFanOutSmoke' ./internal/experiments/
 
 bench:
 	$(GO) test -bench=Engine -run TestEngineBenchJSON -benchtime=1x .
+
+# Fuzz the cell-key codec (the identity under artifact files, shard
+# assignment and cache addressing) with the native fuzzing engine.
+# Plain `go test` / verify.sh only replay the seed corpus.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzParseCellKey -fuzztime 15s ./internal/experiments/
 
 clean:
 	$(GO) clean ./...

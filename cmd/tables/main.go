@@ -7,6 +7,7 @@
 //	tables -exp table3 -seeds 3                 # mean±std over 3 seed replicates
 //	tables -exp table3 -shard 1/2 -out s1.art   # run half the grid, write artifacts
 //	tables -merge shards/                       # recombine shard artifacts and render
+//	tables -exp table3 -cache cells/            # skip cells cached by earlier runs
 //	tables -list
 //
 // Experiment ids are the paper's table/figure numbers (table2, table3,
@@ -19,6 +20,14 @@
 // file instead of text. -merge dir/ loads every *.art file in dir,
 // verifies the shards cover the full grid, and renders output
 // byte-identical to the unsharded run.
+//
+// Caching: -cache dir/ keeps a content-addressed record per computed
+// grid cell, keyed by the cell spec plus every scale field that can
+// change its result. Any later invocation — plain, -shard or -seeds —
+// loads matching cells instead of recomputing them and renders
+// byte-identical output; a one-line hit/miss summary goes to stderr.
+// -cache-readonly serves hits without writing back; -no-cache
+// explicitly disables caching and conflicts with the other two.
 package main
 
 import (
@@ -56,6 +65,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	shard := fs.String("shard", "", "run a deterministic slice of a grid experiment, as i/n (e.g. 1/2); writes a binary artifact file instead of text")
 	merge := fs.String("merge", "", "merge the shard artifact files (*.art) in this directory and render the combined experiment")
 	out := fs.String("out", "", "artifact output path for -shard (default <exp>_<scale>_seed<seed>_seeds<m>_shard<i>of<n>.art)")
+	cacheDir := fs.String("cache", "", "content-addressed artifact cache directory (created if missing): grid cells already cached are loaded instead of recomputed, fresh cells are written back")
+	cacheRO := fs.Bool("cache-readonly", false, "with -cache: serve cache hits but never write new records (for shared or audited cache directories)")
+	noCache := fs.Bool("no-cache", false, "explicitly disable artifact caching; conflicts with -cache and -cache-readonly")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -119,9 +131,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "tables: -out only applies to -shard artifact runs")
 		return 2
 	}
+	if *noCache && (*cacheDir != "" || *cacheRO) {
+		fmt.Fprintln(stderr, "tables: -no-cache conflicts with -cache/-cache-readonly")
+		return 2
+	}
+	if *cacheRO && *cacheDir == "" {
+		fmt.Fprintln(stderr, "tables: -cache-readonly needs -cache dir/")
+		return 2
+	}
+	var cache *feddrl.ExperimentCache
+	if *cacheDir != "" {
+		var err error
+		cache, err = feddrl.OpenExperimentCache(*cacheDir, *cacheRO)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
 
 	if *shard != "" {
-		return runShard(*exp, scale, *seed, *seeds, *shard, *out, stdout, stderr)
+		return runShard(*exp, scale, *seed, *seeds, *shard, *out, cache, stdout, stderr)
 	}
 
 	ids := []string{*exp}
@@ -134,14 +163,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		out, err := feddrl.RunExperimentSeeds(id, scale, *seed, *seeds)
+		out, err := feddrl.RunExperimentSeedsCached(id, scale, *seed, *seeds, cache)
 		if err != nil {
 			fmt.Fprintln(stderr, err)
 			return 2
 		}
 		fmt.Fprintf(stdout, "### %s (scale=%s, seed=%d, took %v)\n\n%s\n", id, scale.Name, *seed, time.Since(start).Round(time.Millisecond), out)
 		if *csvDir != "" && (id == "figure5" || id == "figure7" || id == "figure8") {
-			paths, err := feddrl.ExportExperimentCSV(id, scale, *seed, *csvDir)
+			paths, err := feddrl.ExportExperimentCSVCached(id, scale, *seed, *csvDir, cache)
 			if err != nil {
 				fmt.Fprintf(stderr, "csv export of %s failed: %v\n", id, err)
 			}
@@ -150,12 +179,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 		}
 	}
+	// The summary goes to stderr so cached and uncached stdout stay
+	// byte-identical (the byte-identity gate in scripts/verify.sh).
+	if cache != nil {
+		fmt.Fprintf(stderr, "cache: %s\n", cache.Summary())
+	}
 	return 0
 }
 
 // runShard executes one 1/n slice of a grid experiment and writes its
-// artifact file.
-func runShard(exp string, scale feddrl.Scale, seed uint64, seeds int, shard, out string, stdout, stderr io.Writer) int {
+// artifact file. With a cache, cells completed by any earlier run —
+// including an interrupted attempt at this very shard — are loaded
+// instead of recomputed.
+func runShard(exp string, scale feddrl.Scale, seed uint64, seeds int, shard, out string, cache *feddrl.ExperimentCache, stdout, stderr io.Writer) int {
 	if exp == "all" {
 		fmt.Fprintln(stderr, "tables: -shard needs a specific -exp (not 'all')")
 		return 2
@@ -165,7 +201,7 @@ func runShard(exp string, scale feddrl.Scale, seed uint64, seeds int, shard, out
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
-	set, err := feddrl.RunExperimentShard(exp, scale, seed, seeds, index, count)
+	set, err := feddrl.RunExperimentShardCached(exp, scale, seed, seeds, index, count, cache)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
@@ -184,6 +220,9 @@ func runShard(exp string, scale feddrl.Scale, seed uint64, seeds int, shard, out
 		return 2
 	}
 	fmt.Fprintf(stdout, "wrote %s (%s shard %d/%d, %d cells)\n", out, exp, index, count, set.Len())
+	if cache != nil {
+		fmt.Fprintf(stderr, "cache: %s\n", cache.Summary())
+	}
 	return 0
 }
 

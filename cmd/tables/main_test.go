@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -114,6 +115,107 @@ func TestTablesShardBadArgs(t *testing.T) {
 		{"-exp", "table3", "-out", "x.art"},                    // -out without -shard
 		{"-merge", "no-such-dir"},
 	} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// TestTablesCacheColdWarm is the CLI half of the cache acceptance
+// criterion: a second identical invocation with -cache computes 0 cells
+// (the stderr summary says so) and renders a byte-identical body; after
+// deleting one record, exactly one cell recomputes.
+func TestTablesCacheColdWarm(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cells")
+	base := []string{"-exp", "figure8", "-scale", "ci", "-rounds", "2", "-seed", "1", "-cache", cacheDir}
+	body := func(s string) string { return s[strings.Index(s, "\n"):] }
+
+	var cold, coldErr bytes.Buffer
+	if code := run(base, &cold, &coldErr); code != 0 {
+		t.Fatalf("cold cached run exited %d: %s", code, coldErr.String())
+	}
+	if !strings.Contains(coldErr.String(), "cache: ") || !strings.Contains(coldErr.String(), "0 hits") {
+		t.Fatalf("cold run summary missing or wrong: %s", coldErr.String())
+	}
+
+	var warm, warmErr bytes.Buffer
+	if code := run(base, &warm, &warmErr); code != 0 {
+		t.Fatalf("warm cached run exited %d: %s", code, warmErr.String())
+	}
+	if body(warm.String()) != body(cold.String()) {
+		t.Fatalf("warm cached body differs from cold:\n--- cold ---\n%s\n--- warm ---\n%s", cold.String(), warm.String())
+	}
+	if !strings.Contains(warmErr.String(), "0 misses") {
+		t.Fatalf("warm run should report 0 misses: %s", warmErr.String())
+	}
+
+	// Delete one record: exactly one cell recomputes.
+	records, err := filepath.Glob(filepath.Join(cacheDir, "*.cell"))
+	if err != nil || len(records) < 2 {
+		t.Fatalf("cache records: %v (%d found)", err, len(records))
+	}
+	if err := os.Remove(records[0]); err != nil {
+		t.Fatal(err)
+	}
+	var again, againErr bytes.Buffer
+	if code := run(base, &again, &againErr); code != 0 {
+		t.Fatalf("post-delete run exited %d: %s", code, againErr.String())
+	}
+	if body(again.String()) != body(cold.String()) {
+		t.Fatal("post-delete body differs")
+	}
+	if !strings.Contains(againErr.String(), "1 misses, 1 written") {
+		t.Fatalf("post-delete run should recompute exactly one cell: %s", againErr.String())
+	}
+
+	// Readonly: hits only, no writes.
+	var ro, roErr bytes.Buffer
+	if code := run(append(append([]string{}, base...), "-cache-readonly"), &ro, &roErr); code != 0 {
+		t.Fatalf("readonly run exited %d: %s", code, roErr.String())
+	}
+	if body(ro.String()) != body(cold.String()) {
+		t.Fatal("readonly body differs")
+	}
+	if !strings.Contains(roErr.String(), "0 misses, 0 written") {
+		t.Fatalf("readonly run summary wrong: %s", roErr.String())
+	}
+}
+
+// TestTablesCacheShard: -shard composes with -cache, and a shard rerun
+// against a warm cache computes nothing.
+func TestTablesCacheShard(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cells")
+	args := []string{"-exp", "figure8", "-scale", "ci", "-rounds", "2", "-seed", "1",
+		"-shard", "1/2", "-out", filepath.Join(dir, "s1.art"), "-cache", cacheDir}
+	var out, errOut bytes.Buffer
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("cached shard exited %d: %s", code, errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run(args, &out, &errOut); code != 0 {
+		t.Fatalf("warm cached shard exited %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "0 misses") {
+		t.Fatalf("warm shard rerun should compute nothing: %s", errOut.String())
+	}
+}
+
+func TestTablesCacheFlagConflicts(t *testing.T) {
+	for _, args := range [][]string{
+		{"-exp", "table3", "-no-cache", "-cache", "dir"},
+		{"-exp", "table3", "-no-cache", "-cache-readonly"},
+		{"-exp", "table3", "-cache-readonly"}, // readonly without -cache
+		{"-merge", "dir", "-cache", "dir"},    // merge reads config from artifacts
+		{"-exp", "table3", "-cache", ""},      // empty dir with readonly is still invalid
+	} {
+		args := args
+		if args[len(args)-1] == "" {
+			args = append(args, "-cache-readonly")
+		}
 		var out, errOut bytes.Buffer
 		if code := run(args, &out, &errOut); code == 0 {
 			t.Fatalf("args %v accepted", args)

@@ -209,6 +209,13 @@ type (
 	// ExperimentArtifacts is a set of cell artifacts (a whole grid or
 	// one shard), serializable to a binary artifact file.
 	ExperimentArtifacts = experiments.ArtifactSet
+	// ExperimentCache is a content-addressed on-disk store of cell
+	// artifacts: cached cells are loaded instead of recomputed, and
+	// cached runs render byte-identical output to uncached ones.
+	ExperimentCache = experiments.Cache
+	// ExperimentCacheStats counts one cache handle's hits, misses and
+	// write-backs.
+	ExperimentCacheStats = experiments.CacheStats
 )
 
 // Experiments.
@@ -243,6 +250,22 @@ var (
 	ExperimentShardable = experiments.Shardable
 	// ExportExperimentCSV writes a figure's series as CSV files.
 	ExportExperimentCSV = experiments.ExportCSV
+	// OpenExperimentCache opens (creating unless readonly) a
+	// content-addressed artifact cache directory.
+	OpenExperimentCache = experiments.OpenCache
+	// RunExperimentCached is RunExperiment with an artifact cache: grid
+	// cells found in the cache are loaded instead of recomputed.
+	RunExperimentCached = experiments.RunCached
+	// RunExperimentSeedsCached is RunExperimentSeeds with an artifact
+	// cache.
+	RunExperimentSeedsCached = experiments.RunSeedsCached
+	// RunExperimentShardCached is RunExperimentShard with an artifact
+	// cache — rerunning an interrupted shard against the same cache
+	// recomputes only the cells it had not finished.
+	RunExperimentShardCached = experiments.RunShardCached
+	// ExportExperimentCSVCached is ExportExperimentCSV with an artifact
+	// cache.
+	ExportExperimentCSVCached = experiments.ExportCSVCached
 )
 
 // Checkpointing, communication accounting, selection and compression.

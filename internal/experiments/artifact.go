@@ -106,6 +106,49 @@ func artifactOf(spec CellSpec, r *fl.Result) *CellArtifact {
 	}
 }
 
+// cellVectorNames are the per-cell series stored by every cell codec,
+// in checksum order.
+var cellVectorNames = []string{"acc", "rounds", "lossmean", "lossvar"}
+
+// cellVectorsInto writes a cell's series under prefix into a checkpoint
+// — the single payload codec shared by artifact-set files and cache
+// records, so the two formats cannot drift apart field by field.
+func cellVectorsInto(c *serialize.Checkpoint, prefix string, a *CellArtifact) {
+	c.Vectors[prefix+"acc"] = a.Accuracy
+	c.Vectors[prefix+"rounds"] = intsToFloats(a.AccRounds)
+	c.Vectors[prefix+"lossmean"] = a.LossMean
+	c.Vectors[prefix+"lossvar"] = a.LossVar
+}
+
+// cellFromVectors decodes a cell's series stored under prefix.
+func cellFromVectors(c *serialize.Checkpoint, prefix string, spec CellSpec) (*CellArtifact, error) {
+	for _, suffix := range cellVectorNames {
+		if _, ok := c.Vectors[prefix+suffix]; !ok {
+			return nil, fmt.Errorf("experiments: cell %s missing vector %q", spec.Key(), suffix)
+		}
+	}
+	return &CellArtifact{
+		Spec:      spec,
+		Accuracy:  c.Vectors[prefix+"acc"],
+		AccRounds: floatsToInts(c.Vectors[prefix+"rounds"]),
+		LossMean:  c.Vectors[prefix+"lossmean"],
+		LossVar:   c.Vectors[prefix+"lossvar"],
+	}, nil
+}
+
+// cellPayloadSum content-hashes a cell's stored series in
+// cellVectorNames order — the integrity checksum carried by cache
+// records. It hashes the raw checkpoint vectors, not the decoded
+// artifact, so any stored-payload bit rot is detected even where
+// decoding would mask it (e.g. the float→int truncation of "rounds").
+func cellPayloadSum(c *serialize.Checkpoint, prefix string) string {
+	h := serialize.NewHasher()
+	for _, suffix := range cellVectorNames {
+		h.Floats(c.Vectors[prefix+suffix])
+	}
+	return h.Sum()
+}
+
 // ArtifactSet is a collection of cell artifacts from one experiment
 // invocation — the whole grid, or one shard of it. The header fields
 // pin everything a renderer needs to reconstruct the run: experiment
@@ -168,13 +211,8 @@ func (as *ArtifactSet) Checkpoint() *serialize.Checkpoint {
 	c.Meta["seeds"] = strconv.Itoa(as.Seeds)
 	c.Meta["cells"] = strconv.Itoa(len(as.order))
 	for i, key := range as.order {
-		a := as.Cells[key]
 		c.Meta[fmt.Sprintf("cell.%06d", i)] = key
-		p := fmt.Sprintf("c%06d.", i)
-		c.Vectors[p+"acc"] = a.Accuracy
-		c.Vectors[p+"rounds"] = intsToFloats(a.AccRounds)
-		c.Vectors[p+"lossmean"] = a.LossMean
-		c.Vectors[p+"lossvar"] = a.LossVar
+		cellVectorsInto(c, fmt.Sprintf("c%06d.", i), as.Cells[key])
 	}
 	return c
 }
@@ -217,19 +255,11 @@ func ArtifactSetFromCheckpoint(c *serialize.Checkpoint) (*ArtifactSet, error) {
 		if err != nil {
 			return nil, err
 		}
-		p := fmt.Sprintf("c%06d.", i)
-		for _, suffix := range []string{"acc", "rounds", "lossmean", "lossvar"} {
-			if _, ok := c.Vectors[p+suffix]; !ok {
-				return nil, fmt.Errorf("experiments: artifact cell %d missing vector %q", i, suffix)
-			}
+		a, err := cellFromVectors(c, fmt.Sprintf("c%06d.", i), spec)
+		if err != nil {
+			return nil, err
 		}
-		as.Add(&CellArtifact{
-			Spec:      spec,
-			Accuracy:  c.Vectors[p+"acc"],
-			AccRounds: floatsToInts(c.Vectors[p+"rounds"]),
-			LossMean:  c.Vectors[p+"lossmean"],
-			LossVar:   c.Vectors[p+"lossvar"],
-		})
+		as.Add(a)
 	}
 	return as, nil
 }

@@ -16,7 +16,11 @@ import (
 // Figure5Series returns one SeriesSet per (dataset, partition) panel of
 // Figure 5, keyed "figure5-<dataset>-<partition>".
 func Figure5Series(s Scale, seed uint64) map[string]*metrics.SeriesSet {
-	st := newStore(s)
+	return figure5Series(s, seed, nil)
+}
+
+func figure5Series(s Scale, seed uint64, cache *Cache) map[string]*metrics.SeriesSet {
+	st := newStoreCached(s, cache)
 	defer st.close()
 	st.prefetch(figure5Jobs(s, seed))
 	out := map[string]*metrics.SeriesSet{}
@@ -42,7 +46,11 @@ func Figure5Series(s Scale, seed uint64) map[string]*metrics.SeriesSet {
 
 // Figure7Series returns the participation-sweep series (x = K).
 func Figure7Series(s Scale, seed uint64) *metrics.SeriesSet {
-	st := newStore(s)
+	return figure7Series(s, seed, nil)
+}
+
+func figure7Series(s Scale, seed uint64, cache *Cache) *metrics.SeriesSet {
+	st := newStoreCached(s, cache)
 	defer st.close()
 	st.prefetch(figure7Jobs(s, seed))
 	x := make([]float64, len(s.KSweep))
@@ -62,7 +70,11 @@ func Figure7Series(s Scale, seed uint64) *metrics.SeriesSet {
 
 // Figure8Series returns the non-IID-level-sweep series (x = delta).
 func Figure8Series(s Scale, seed uint64) *metrics.SeriesSet {
-	st := newStore(s)
+	return figure8Series(s, seed, nil)
+}
+
+func figure8Series(s Scale, seed uint64, cache *Cache) *metrics.SeriesSet {
+	st := newStoreCached(s, cache)
 	defer st.close()
 	st.prefetch(figure8Jobs(s, seed))
 	x := make([]float64, len(s.Deltas))
@@ -84,17 +96,24 @@ func Figure8Series(s Scale, seed uint64) *metrics.SeriesSet {
 // dir, returning the written file paths. Supported ids: figure5,
 // figure7, figure8.
 func ExportCSV(id string, s Scale, seed uint64, dir string) ([]string, error) {
+	return ExportCSVCached(id, s, seed, dir, nil)
+}
+
+// ExportCSVCached is ExportCSV backed by a content-addressed artifact
+// cache — after a cached text render of the same figure, the CSV export
+// reloads every cell instead of retraining it.
+func ExportCSVCached(id string, s Scale, seed uint64, dir string, cache *Cache) ([]string, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("experiments: csv dir: %w", err)
 	}
 	sets := map[string]*metrics.SeriesSet{}
 	switch id {
 	case "figure5":
-		sets = Figure5Series(s, seed)
+		sets = figure5Series(s, seed, cache)
 	case "figure7":
-		sets["figure7"] = Figure7Series(s, seed)
+		sets["figure7"] = figure7Series(s, seed, cache)
 	case "figure8":
-		sets["figure8"] = Figure8Series(s, seed)
+		sets["figure8"] = figure8Series(s, seed, cache)
 	default:
 		return nil, fmt.Errorf("experiments: no CSV export for %q (supported: figure5, figure7, figure8)", id)
 	}

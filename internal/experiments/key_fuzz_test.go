@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"feddrl/internal/rng"
+)
+
+// Fuzz and property coverage for the ParseCellKey ↔ CellSpec.Key codec
+// — the identity under every artifact file, shard assignment and cache
+// address, so a silent mis-parse would corrupt all three. `go test`
+// runs the seed corpus; `make fuzz` runs the fuzzing engine proper.
+
+// FuzzParseCellKey asserts two properties over arbitrary byte strings:
+// ParseCellKey never panics, and any key it accepts canonicalizes to a
+// fixed point (parse → re-key → re-parse is stable).
+func FuzzParseCellKey(f *testing.F) {
+	// Real keys from every grid family.
+	s := CI()
+	for _, spec := range []CellSpec{
+		table3Spec(s, "cifar100-sim", "CE", "FedDRL", s.SmallN, 1),
+		table3Spec(s, "mnist-sim", "PA", "SingleSet", s.LargeN, 42),
+		{Dataset: "fashion-sim", Partition: "Non-equal", Method: "FedProx", N: 100, K: 10, Delta: 0.30000000000000004, Seed: 1<<63 + 5},
+	} {
+		f.Add(spec.Key())
+	}
+	// Malformed and adversarial shapes.
+	for _, key := range []string{
+		"",
+		"|",
+		"||||||",
+		"a|b",
+		"a|b|c|x|1|0.5|1",
+		"a|b|c|1|1|zz|1",
+		"a|b|c|1|1|0.5|-2",
+		"a|b|c|1|1|0.5|1|extra",
+		"a|b|c|9223372036854775808|1|0.5|1",
+		"a|b|c|1|1|NaN|1",
+		"a|b|c|1|1|+Inf|1",
+		"a|b|c|1|1|1e309|1",
+		"a|b|c|01|001|0.50|0018446744073709551615",
+		"π|δ|σ|1|1|0.5|1",
+		strings.Repeat("x", 1<<10) + "|b|c|1|1|0.5|1",
+	} {
+		f.Add(key)
+	}
+	f.Fuzz(func(t *testing.T, key string) {
+		spec, err := ParseCellKey(key) // must never panic
+		if err != nil {
+			return
+		}
+		canon := spec.Key()
+		again, err := ParseCellKey(canon)
+		if err != nil {
+			t.Fatalf("canonical key %q of accepted key %q does not re-parse: %v", canon, key, err)
+		}
+		if again.Key() != canon {
+			t.Fatalf("canonicalization is not a fixed point: %q -> %q", canon, again.Key())
+		}
+	})
+}
+
+// TestCellKeyPropertyRoundTrip is the deterministic property loop: for
+// thousands of generated specs — realistic names, hostile-but-legal
+// field values, extreme floats and seeds — Key must invert through
+// ParseCellKey exactly.
+func TestCellKeyPropertyRoundTrip(t *testing.T) {
+	datasets := []string{"cifar100-sim", "fashion-sim", "mnist-sim", "", "a b c", "π-δ", "with\ttab", "with\nnewline"}
+	partitions := []string{"PA", "CE", "CN", "Equal", "Non-equal", "x"}
+	methods := []string{"SingleSet", "FedAvg", "FedProx", "FedDRL", ""}
+	deltas := []float64{0, 0.6, -0.0, 0.30000000000000004, math.SmallestNonzeroFloat64,
+		math.MaxFloat64, 1e-300, -1e300, math.Inf(1), math.Inf(-1)}
+	seeds := []uint64{0, 1, 1009, 1<<63 + 5, math.MaxUint64}
+
+	r := rng.New(7)
+	pick := func(n int) int { return r.Intn(n) }
+	for i := 0; i < 5000; i++ {
+		spec := CellSpec{
+			Dataset:   datasets[pick(len(datasets))],
+			Partition: partitions[pick(len(partitions))],
+			Method:    methods[pick(len(methods))],
+			N:         pick(1 << 20),
+			K:         pick(1 << 20),
+			Delta:     deltas[pick(len(deltas))],
+			Seed:      seeds[pick(len(seeds))],
+		}
+		got, err := ParseCellKey(spec.Key())
+		if err != nil {
+			t.Fatalf("round trip of %+v failed: %v", spec, err)
+		}
+		if got != spec {
+			t.Fatalf("round trip %+v -> %+v", spec, got)
+		}
+	}
+
+	// NaN round-trips to NaN (compare by canonical key; NaN != NaN).
+	nan := CellSpec{Dataset: "d", Partition: "p", Method: "m", Delta: math.NaN(), Seed: 3}
+	got, err := ParseCellKey(nan.Key())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(got.Delta) || got.Key() != nan.Key() {
+		t.Fatalf("NaN delta lost in round trip: %+v", got)
+	}
+
+	// The one documented codec limit: the separator cannot appear in
+	// string fields — such a key grows extra fields and must be
+	// rejected on re-parse, not silently mangled.
+	bad := CellSpec{Dataset: "a|b", Partition: "p", Method: "m"}
+	if _, err := ParseCellKey(bad.Key()); err == nil {
+		t.Fatal("separator inside a field was not rejected")
+	}
+}
+
+// TestParseCellKeyRejectsMalformed pins the error (not panic) contract
+// on a corpus of malformed keys, including every per-field failure.
+func TestParseCellKeyRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"a|b|c",
+		"a|b|c|1|1|0.5",
+		"a|b|c|1|1|0.5|1|8th",
+		"a|b|c|notint|1|0.5|1",
+		"a|b|c|1|notint|0.5|1",
+		"a|b|c|1|1|notfloat|1",
+		"a|b|c|1|1|0.5|notuint",
+		"a|b|c|1|1|0.5|-1",
+		"a|b|c|1|1|0.5|18446744073709551616", // MaxUint64 + 1
+		"a|b|c|1.5|1|0.5|1",                  // N must be an int
+	} {
+		if _, err := ParseCellKey(bad); err == nil {
+			t.Fatalf("ParseCellKey(%q) accepted a malformed key", bad)
+		}
+	}
+}

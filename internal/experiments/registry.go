@@ -84,6 +84,16 @@ func Shardable(name string) bool {
 // directly, grid experiments through the spec→artifact→render pipeline
 // on the scale's engine pool.
 func Run(name string, s Scale, seed uint64) (string, error) {
+	return RunCached(name, s, seed, nil)
+}
+
+// RunCached is Run with a content-addressed artifact cache: grid cells
+// whose records exist in the cache are loaded instead of recomputed,
+// fresh cells are written back, and the rendered output is
+// byte-identical to an uncached run. A nil cache disables caching.
+// Monolithic experiments do not decompose into cells and run in full
+// regardless of the cache.
+func RunCached(name string, s Scale, seed uint64, cache *Cache) (string, error) {
 	e, ok := Registry[name]
 	if !ok {
 		return "", fmt.Errorf("experiments: unknown experiment %q (known: %v)", name, Names())
@@ -91,7 +101,7 @@ func Run(name string, s Scale, seed uint64) (string, error) {
 	if e.Mono != nil {
 		return e.Mono(s, seed), nil
 	}
-	return runGrid(e, s, seed), nil
+	return runGrid(e, s, seed, cache), nil
 }
 
 // runNamed is Run for ids known to exist (the exported per-experiment

@@ -109,14 +109,23 @@ func runMethodOn(s Scale, spec dataset.Spec, partName, method string, n, k int, 
 // inner federated run borrows the same lanes, keeping total parallelism
 // bounded. Every grid entry point must release the pool with
 // `defer st.close()` so a panicking cell run cannot leak it.
+//
+// An optional content-addressed Cache extends the in-memory store
+// across invocations: cells found in the cache are loaded instead of
+// recomputed, and freshly computed cells are written back (unless the
+// cache is readonly). Lookups and write-backs are bit-exact, so cached
+// and uncached runs render byte-identical output.
 type artifactStore struct {
 	s     Scale
 	pool  *engine.Pool
+	cache *Cache
 	cells map[string]*CellArtifact
 }
 
-func newStore(s Scale) *artifactStore {
-	return &artifactStore{s: s, pool: s.newPool(), cells: map[string]*CellArtifact{}}
+func newStore(s Scale) *artifactStore { return newStoreCached(s, nil) }
+
+func newStoreCached(s Scale, cache *Cache) *artifactStore {
+	return &artifactStore{s: s, pool: s.newPool(), cache: cache, cells: map[string]*CellArtifact{}}
 }
 
 // close releases the store's pool (idempotent; nil-safe).
@@ -130,11 +139,13 @@ func (st *artifactStore) compute(spec CellSpec) *CellArtifact {
 }
 
 // prefetch computes every not-yet-cached job, independent cells in
-// parallel on the pool. Results land in per-job slots and are committed
-// to the map only after the barrier, so no lock is needed and the store
-// contents do not depend on completion order. Callers must enumerate
-// the same cells their rendering loop will get(): a cell missing from
-// the job list still computes correctly, just sequentially.
+// parallel on the pool. The on-disk cache is consulted sequentially
+// first (I/O, not compute); only genuine misses fan out across the
+// pool. Results land in per-job slots and are committed to the map only
+// after the barrier, so no lock is needed and the store contents do not
+// depend on completion order. Callers must enumerate the same cells
+// their rendering loop will get(): a cell missing from the job list
+// still computes correctly, just sequentially.
 func (st *artifactStore) prefetch(jobs []CellSpec) {
 	pending := make([]CellSpec, 0, len(jobs))
 	queued := map[string]bool{}
@@ -143,33 +154,51 @@ func (st *artifactStore) prefetch(jobs []CellSpec) {
 		if _, done := st.cells[key]; done || queued[key] {
 			continue
 		}
+		if a, ok := st.cache.load(st.s, j); ok {
+			st.cells[key] = a
+			continue
+		}
 		queued[key] = true
 		pending = append(pending, j)
 	}
 	results := make([]*CellArtifact, len(pending))
 	st.pool.For(len(pending), func(i int) {
-		results[i] = st.compute(pending[i])
+		a := st.compute(pending[i])
+		results[i] = a
+		// Publish to the cache immediately, not after the barrier: a
+		// killed run must keep every cell it finished, or interrupted
+		// shards could never resume. Concurrent stores are safe — each
+		// record is its own temp file + rename, and the stats counters
+		// are mutex-guarded.
+		st.cache.store(st.s, pending[i], a)
 	})
 	for i, j := range pending {
 		st.cells[j.Key()] = results[i]
 	}
 }
 
-// get returns the cell's artifact, computing it on demand.
+// get returns the cell's artifact, computing it on demand (consulting
+// the cache first, and writing a fresh computation back).
 func (st *artifactStore) get(spec CellSpec) *CellArtifact {
 	key := spec.Key()
 	if a, ok := st.cells[key]; ok {
 		return a
 	}
+	if a, ok := st.cache.load(st.s, spec); ok {
+		st.cells[key] = a
+		return a
+	}
 	a := st.compute(spec)
 	st.cells[key] = a
+	st.cache.store(st.s, spec, a)
 	return a
 }
 
 // runGrid is the single-process execution path of a grid experiment:
-// enumerate jobs, compute artifacts concurrently, render.
-func runGrid(e Experiment, s Scale, seed uint64) string {
-	st := newStore(s)
+// enumerate jobs, compute artifacts concurrently (skipping cells the
+// cache already holds), render.
+func runGrid(e Experiment, s Scale, seed uint64, cache *Cache) string {
+	st := newStoreCached(s, cache)
 	defer st.close()
 	st.prefetch(e.Jobs(s, seed))
 	return e.Render(s, seed, st.get)

@@ -97,6 +97,16 @@ func ShardJobs(jobs []CellSpec, index, count int) ([]CellSpec, error) {
 // The slice runs concurrently on the scale's engine pool, exactly like
 // the corresponding cells of an unsharded run.
 func RunShard(name string, s Scale, seed uint64, seeds, index, count int) (*ArtifactSet, error) {
+	return RunShardCached(name, s, seed, seeds, index, count, nil)
+}
+
+// RunShardCached is RunShard backed by a content-addressed artifact
+// cache: the shard's artifact set is assembled from cache hits where
+// possible and only the missing cells are computed (and written back).
+// This is also the kill-and-resume path — rerunning an interrupted
+// shard against the same cache recomputes only the cells it had not
+// finished.
+func RunShardCached(name string, s Scale, seed uint64, seeds, index, count int, cache *Cache) (*ArtifactSet, error) {
 	_, jobs, err := jobsFor(name, s, seed, seeds)
 	if err != nil {
 		return nil, err
@@ -105,7 +115,7 @@ func RunShard(name string, s Scale, seed uint64, seeds, index, count int) (*Arti
 	if err != nil {
 		return nil, err
 	}
-	st := newStore(s)
+	st := newStoreCached(s, cache)
 	defer st.close()
 	st.prefetch(slice)
 	set := NewArtifactSet(name, s, seed, seeds)
@@ -190,14 +200,22 @@ func RenderSet(s Scale, set *ArtifactSet) (string, error) {
 // replicated jobs flow through the same pipeline as sharded runs, so
 // -shard and -seeds compose.
 func RunSeeds(name string, s Scale, seed uint64, seeds int) (string, error) {
+	return RunSeedsCached(name, s, seed, seeds, nil)
+}
+
+// RunSeedsCached is RunSeeds backed by a content-addressed artifact
+// cache. Seed replicates are ordinary cells (each replicate has its own
+// absolute seed, hence its own content address), so a multi-seed run
+// reuses the single-seed cells a previous run already cached.
+func RunSeedsCached(name string, s Scale, seed uint64, seeds int, cache *Cache) (string, error) {
 	if seeds <= 1 {
-		return Run(name, s, seed)
+		return RunCached(name, s, seed, cache)
 	}
 	e, jobs, err := jobsFor(name, s, seed, seeds)
 	if err != nil {
 		return "", err
 	}
-	st := newStore(s)
+	st := newStoreCached(s, cache)
 	defer st.close()
 	st.prefetch(jobs)
 	return e.SeedsRender(s, seed, seeds, st.get), nil

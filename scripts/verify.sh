@@ -1,14 +1,19 @@
 #!/bin/sh
 # Tier-1 verification gate (same sequence as `make verify`):
 # vet + build + full tests, then race coverage on the engine paths,
-# then the shard-merge round-trip gate on the real CLI.
+# then the shard-merge and cache cold/warm round-trip gates on the real
+# CLI.
 set -eux
 
 go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/engine/... ./internal/fl/...
-go test -race -run TestConcurrentFanOutSmoke ./internal/experiments/
+go test -race -run 'TestConcurrentFanOutSmoke|TestCacheConcurrentFanOutSmoke' ./internal/experiments/
+
+# Key-codec fuzz seeds in short mode (the corpus only; `make fuzz` runs
+# the fuzzing engine proper).
+go test -short -run 'FuzzParseCellKey|TestCellKeyPropertyRoundTrip' ./internal/experiments/
 
 # Shard-merge round trip: running Table 3 as two shards and merging the
 # artifact files must reproduce the unsharded output byte for byte
@@ -21,3 +26,13 @@ go build -o "$tmp/tables" ./cmd/tables
 "$tmp/tables" -exp table3 -scale ci -rounds 2 -seed 1 -shard 2/2 -out "$tmp/shards/s2.art"
 "$tmp/tables" -merge "$tmp/shards" | tail -n +2 > "$tmp/merged.txt"
 diff "$tmp/unsharded.txt" "$tmp/merged.txt"
+
+# Cache cold/warm byte-identity: a cold run against an empty cache must
+# match the uncached run, and a warm rerun must load every cell from
+# the cache (its stderr summary reports 0 misses) while rendering the
+# identical bytes.
+"$tmp/tables" -exp table3 -scale ci -rounds 2 -seed 1 -cache "$tmp/cells" 2> "$tmp/cold.err" | tail -n +2 > "$tmp/cold.txt"
+diff "$tmp/unsharded.txt" "$tmp/cold.txt"
+"$tmp/tables" -exp table3 -scale ci -rounds 2 -seed 1 -cache "$tmp/cells" 2> "$tmp/warm.err" | tail -n +2 > "$tmp/warm.txt"
+diff "$tmp/cold.txt" "$tmp/warm.txt"
+grep -q ' 0 misses' "$tmp/warm.err"
