@@ -1,7 +1,7 @@
 # Tier-1 verification gate. `make verify` is what CI and pre-merge runs.
 GO ?= go
 
-.PHONY: verify vet build test race bench fuzz clean
+.PHONY: verify vet build test race bench bench-smoke fuzz clean
 
 verify: vet build test race
 
@@ -24,6 +24,13 @@ race:
 
 bench:
 	$(GO) test -bench=Engine -run TestEngineBenchJSON -benchtime=1x .
+
+# One iteration of every engine benchmark (round loop at each width plus
+# the nested-grid stealing case): a seconds-long smoke that the
+# benchmark harness itself still runs, without the timing reps of
+# `make bench`.
+bench-smoke:
+	$(GO) test -bench 'EngineRoundLoop|NestedGridSteal' -benchtime=1x -run '^$$' .
 
 # Fuzz the cell-key codec (the identity under artifact files, shard
 # assignment and cache addressing) with the native fuzzing engine.

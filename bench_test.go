@@ -14,13 +14,16 @@ package feddrl
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"feddrl/internal/core"
+	"feddrl/internal/engine"
 	"feddrl/internal/experiments"
 	"feddrl/internal/fl"
 	"feddrl/internal/mathx"
@@ -276,11 +279,133 @@ func BenchmarkEngineRoundLoopWorkersMax(b *testing.B) {
 	benchmarkEngineRoundLoop(b, runtime.GOMAXPROCS(0))
 }
 
+// --- Nested-grid benchmark: stealing under outer saturation -----------
+
+// nestedGridJSON is the BENCH_engine.json record of the nested-grid
+// case: an outer grid that saturates the pool while one heavy cell
+// repeatedly runs an inner evaluator-shaped parallel-for. The occupancy
+// fields are the point: under the old unbuffered-handoff engine the
+// heavy cell's inner loops ran caller-inline (exactly 1 lane) whenever
+// the outer grid held every lane; the work-stealing scheduler lets
+// lanes that drain their own cells steal into the laggard's inner jobs.
+type nestedGridJSON struct {
+	Workers        int   `json:"workers"`
+	OuterCells     int   `json:"outer_cells"`
+	HeavyInnerFors int   `json:"heavy_cell_inner_fors"`
+	InnerTasks     int   `json:"inner_tasks_per_for"`
+	NsPerRun       int64 `json:"ns_per_run"`
+	// OuterLanesBusyMax is the peak number of outer cells in flight at
+	// once — pool saturation evidence for the outer layer.
+	OuterLanesBusyMax int `json:"outer_lanes_busy_max"`
+	// InnerLanesBusyMax is the peak number of the heavy cell's inner
+	// tasks in flight at once — >1 means a second lane was inside the
+	// cell while it ran.
+	InnerLanesBusyMax int `json:"heavy_cell_inner_lanes_busy_max"`
+	// InnerLanesUsed counts the distinct lane ids that executed inner
+	// work of the heavy cell across the whole run — the
+	// scheduling-level occupancy that holds even on a single-core host,
+	// where concurrency exists but physical parallelism does not.
+	InnerLanesUsed int `json:"heavy_cell_inner_lanes_used"`
+}
+
+// peak raises *max to cur if cur is larger (atomic).
+func peak(max *int64, cur int64) {
+	for {
+		m := atomic.LoadInt64(max)
+		if cur <= m || atomic.CompareAndSwapInt64(max, m, cur) {
+			return
+		}
+	}
+}
+
+// runNestedGridCase executes the nested-grid workload once on a fresh
+// pool and returns its occupancy record (NsPerRun left to the caller).
+// Cell 0 is heavy: it runs heavyRounds inner parallel-fors while every
+// other cell runs one, so the outer grid saturates the pool first and
+// the freed lanes then find only the heavy cell's nested entries to
+// steal.
+func runNestedGridCase(workers, outerCells, heavyRounds, innerTasks int) nestedGridJSON {
+	pool := engine.New(workers)
+	defer pool.Close()
+	var outerCur, outerMax int64
+	var innerCur, innerMax int64
+	heavyLanes := make([]int64, workers)
+	sink := make([]float64, outerCells)
+
+	innerFor := func(heavy bool, slot int) {
+		part := make([]float64, innerTasks)
+		pool.ForWorker(innerTasks, func(w, j int) {
+			if heavy {
+				peak(&innerMax, atomic.AddInt64(&innerCur, 1))
+				atomic.AddInt64(&heavyLanes[w], 1)
+			}
+			// Evaluator-shaped compute: a chunk of pure float work,
+			// sized in the hundreds of microseconds so that even on a
+			// single-core host the scheduler's preemption ticks give
+			// parked lanes a chance to steal (a run shorter than one
+			// tick would finish on the submitting lane by default).
+			s := 0.0
+			for t := 0; t < 150000; t++ {
+				s += math.Sqrt(float64(t + j + 1))
+			}
+			part[j] = s
+			if heavy {
+				atomic.AddInt64(&innerCur, -1)
+			}
+		})
+		for _, v := range part {
+			sink[slot] += v
+		}
+	}
+
+	pool.For(outerCells, func(i int) {
+		peak(&outerMax, atomic.AddInt64(&outerCur, 1))
+		rounds := 1
+		if i == 0 {
+			rounds = heavyRounds
+		}
+		for r := 0; r < rounds; r++ {
+			innerFor(i == 0, i)
+		}
+		atomic.AddInt64(&outerCur, -1)
+	})
+
+	lanesUsed := 0
+	for _, c := range heavyLanes {
+		if c > 0 {
+			lanesUsed++
+		}
+	}
+	return nestedGridJSON{
+		Workers:           workers,
+		OuterCells:        outerCells,
+		HeavyInnerFors:    heavyRounds,
+		InnerTasks:        innerTasks,
+		OuterLanesBusyMax: int(outerMax),
+		InnerLanesBusyMax: int(innerMax),
+		InnerLanesUsed:    lanesUsed,
+	}
+}
+
+// BenchmarkNestedGridSteal is the bench-smoke entry for the nested
+// case; the JSON record comes from TestEngineBenchJSON.
+func BenchmarkNestedGridSteal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		runNestedGridCase(4, 8, 32, 16)
+	}
+}
+
 // TestEngineBenchJSON times the round loop at several engine widths and
 // writes BENCH_engine.json, the machine-readable record of the engine's
 // scaling on this host. On a single-core host the expected speedup is
 // ~1.0 by physics; the JSON records GOMAXPROCS so downstream tooling can
 // tell "no cores" from "no scaling".
+//
+// It also records the nested-grid case with per-layer lane occupancy,
+// and asserts the work-stealing guarantee directly: more than one lane
+// executed inner work of the heavy cell even though the outer grid had
+// saturated the pool (lane occupancy is a scheduling property, so it
+// must hold regardless of core count).
 func TestEngineBenchJSON(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing run")
@@ -323,13 +448,29 @@ func TestEngineBenchJSON(t *testing.T) {
 		}
 		cases = append(cases, caseJSON{Workers: w, NsPerRun: ns, SpeedupVs: sp})
 	}
+	// Nested-grid case: saturate a 4-lane pool with 8 cells, one heavy.
+	const nWorkers, nCells, nHeavy, nInner = 4, 8, 32, 16
+	var nested nestedGridJSON
+	var nestedNs int64
+	for r := 0; r < 3; r++ {
+		start := time.Now()
+		n := runNestedGridCase(nWorkers, nCells, nHeavy, nInner)
+		ns := time.Since(start).Nanoseconds()
+		if r == 0 || ns < nestedNs {
+			nestedNs = ns
+			nested = n
+		}
+	}
+	nested.NsPerRun = nestedNs
+
 	doc := struct {
-		Benchmark  string     `json:"benchmark"`
-		GOMAXPROCS int        `json:"gomaxprocs"`
-		NumCPU     int        `json:"num_cpu"`
-		Rounds     int        `json:"rounds"`
-		Clients    int        `json:"clients"`
-		Cases      []caseJSON `json:"cases"`
+		Benchmark  string         `json:"benchmark"`
+		GOMAXPROCS int            `json:"gomaxprocs"`
+		NumCPU     int            `json:"num_cpu"`
+		Rounds     int            `json:"rounds"`
+		Clients    int            `json:"clients"`
+		Cases      []caseJSON     `json:"cases"`
+		NestedGrid nestedGridJSON `json:"nested_grid"`
 	}{
 		Benchmark:  "engine_round_loop",
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -337,6 +478,7 @@ func TestEngineBenchJSON(t *testing.T) {
 		Rounds:     cfg.Rounds,
 		Clients:    cfg.K,
 		Cases:      cases,
+		NestedGrid: nested,
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -351,6 +493,14 @@ func TestEngineBenchJSON(t *testing.T) {
 		if c.NsPerRun <= 0 {
 			t.Fatalf("workers=%d: no measurement", c.Workers)
 		}
+	}
+	// The work-stealing acceptance gate: with the outer grid saturating
+	// the pool, the heavy cell's inner parallel-fors must have been
+	// executed by more than one lane in at least one of the reps (the
+	// recorded best). The old engine pinned this to exactly 1.
+	if nested.InnerLanesUsed <= 1 {
+		t.Fatalf("nested grid: heavy cell's inner work ran on %d lane(s); stealing never joined the cell (%+v)",
+			nested.InnerLanesUsed, nested)
 	}
 }
 

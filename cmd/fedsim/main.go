@@ -38,7 +38,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	lr := fs.Float64("lr", 0.03, "local learning rate")
 	exploreStd := fs.Float64("explorestd", 0.05, "FedDRL exploration noise scale")
 	exploreDecay := fs.Float64("exploredecay", 0.99, "FedDRL exploration decay per action")
-	workers := fs.Int("workers", 0, "engine worker lanes (0 = sequential, -1 = GOMAXPROCS); results are identical at any width")
+	workers := fs.Int("workers", 0, "work-stealing engine lanes shared by client training, evaluation and the weight merge (0 = sequential, -1 = GOMAXPROCS); results are identical at any width")
 	seed := fs.Uint64("seed", 1, "run seed")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {

@@ -8,6 +8,7 @@
 //	tables -exp table3 -shard 1/2 -out s1.art   # run half the grid, write artifacts
 //	tables -merge shards/                       # recombine shard artifacts and render
 //	tables -exp table3 -cache cells/            # skip cells cached by earlier runs
+//	tables -cache-gc -cache cells/ -cache-max-bytes 1000000
 //	tables -list
 //
 // Experiment ids are the paper's table/figure numbers (table2, table3,
@@ -28,6 +29,14 @@
 // byte-identical output; a one-line hit/miss summary goes to stderr.
 // -cache-readonly serves hits without writing back; -no-cache
 // explicitly disables caching and conflicts with the other two.
+//
+// Cache GC: long-lived shared caches grow without bound, so -cache-gc
+// runs a maintenance pass over -cache dir/ and exits: records that can
+// never hit again (stale schema, corruption) and abandoned temp files
+// are pruned, and with -cache-max-bytes the oldest records (by file
+// mtime) are evicted until the directory fits the budget. A one-line
+// pruned/evicted/kept summary goes to stderr. Eviction only costs
+// future hits — an evicted cell is recomputed exactly like a miss.
 package main
 
 import (
@@ -60,7 +69,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list experiment ids and exit")
 	csvDir := fs.String("csvdir", "", "also export figure series as CSV into this directory (figure5/7/8)")
 	rounds := fs.Int("rounds", 0, "override the scale's communication rounds (0 = keep)")
-	workers := fs.Int("workers", 0, "engine worker lanes shared by the experiment grid and every federated run (0 = the scale's default, -1 = GOMAXPROCS); output is identical at any width")
+	workers := fs.Int("workers", 0, "work-stealing engine lanes shared by the experiment grid, every federated run and every evaluation (0 = the scale's default, -1 = GOMAXPROCS); output is identical at any width")
 	seeds := fs.Int("seeds", 1, "seed replicates per cell; >1 renders mean±std columns (grid experiments with a multi-seed renderer)")
 	shard := fs.String("shard", "", "run a deterministic slice of a grid experiment, as i/n (e.g. 1/2); writes a binary artifact file instead of text")
 	merge := fs.String("merge", "", "merge the shard artifact files (*.art) in this directory and render the combined experiment")
@@ -68,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheDir := fs.String("cache", "", "content-addressed artifact cache directory (created if missing): grid cells already cached are loaded instead of recomputed, fresh cells are written back")
 	cacheRO := fs.Bool("cache-readonly", false, "with -cache: serve cache hits but never write new records (for shared or audited cache directories)")
 	noCache := fs.Bool("no-cache", false, "explicitly disable artifact caching; conflicts with -cache and -cache-readonly")
+	cacheGC := fs.Bool("cache-gc", false, "garbage-collect the -cache directory and exit: prune stale-schema/corrupt records and abandoned temp files, then evict oldest records down to -cache-max-bytes")
+	cacheMax := fs.Int64("cache-max-bytes", 0, "with -cache-gc: evict records oldest-mtime-first until the cache fits this many bytes (0 = prune only)")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
@@ -99,6 +110,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		return runMerge(*merge, stdout, stderr)
+	}
+
+	if *cacheGC {
+		// -cache-gc is a maintenance pass, not a run: any experiment
+		// flag would be silently ignored, so reject the combination.
+		var conflict string
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "cache-gc", "cache", "cache-max-bytes":
+			default:
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(stderr, "tables: -cache-gc only combines with -cache and -cache-max-bytes; drop -%s\n", conflict)
+			return 2
+		}
+		return runCacheGC(*cacheDir, *cacheMax, stderr)
+	}
+	if *cacheMax != 0 {
+		fmt.Fprintln(stderr, "tables: -cache-max-bytes only applies to -cache-gc")
+		return 2
 	}
 
 	scale, err := feddrl.ScaleByName(*scaleName)
@@ -184,6 +217,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if cache != nil {
 		fmt.Fprintf(stderr, "cache: %s\n", cache.Summary())
 	}
+	return 0
+}
+
+// runCacheGC runs the cache maintenance pass: prune invalid records
+// and abandoned temp files, then evict by mtime to the byte budget.
+// The summary goes to stderr, like the cache hit/miss line.
+func runCacheGC(dir string, maxBytes int64, stderr io.Writer) int {
+	if dir == "" {
+		fmt.Fprintln(stderr, "tables: -cache-gc needs -cache dir/")
+		return 2
+	}
+	// OpenExperimentCache would create a missing directory; for a
+	// maintenance pass a typo'd path should fail instead.
+	if info, err := os.Stat(dir); err != nil || !info.IsDir() {
+		fmt.Fprintf(stderr, "tables: -cache-gc: %s is not an existing cache directory\n", dir)
+		return 2
+	}
+	cache, err := feddrl.OpenExperimentCache(dir, false)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	st, err := cache.GC(maxBytes)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "cache-gc: %s\n", st.Summary(dir))
 	return 0
 }
 

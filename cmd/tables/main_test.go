@@ -223,6 +223,71 @@ func TestTablesCacheFlagConflicts(t *testing.T) {
 	}
 }
 
+// TestTablesCacheGC populates a cache, corrupts one record, GCs with a
+// byte budget, and checks the stderr summary plus the warm-rerun
+// behavior on what survived.
+func TestTablesCacheGC(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cells")
+	base := []string{"-exp", "figure8", "-scale", "ci", "-rounds", "2", "-seed", "1", "-cache", cacheDir}
+	var out, errOut bytes.Buffer
+	if code := run(base, &out, &errOut); code != 0 {
+		t.Fatalf("populate run exited %d: %s", code, errOut.String())
+	}
+	records, err := filepath.Glob(filepath.Join(cacheDir, "*.cell"))
+	if err != nil || len(records) < 2 {
+		t.Fatalf("cache records: %v (%d found)", err, len(records))
+	}
+	if err := os.Truncate(records[0], 4); err != nil {
+		t.Fatal(err)
+	}
+
+	// Prune-only pass removes exactly the corrupt record.
+	var gcOut, gcErr bytes.Buffer
+	if code := run([]string{"-cache-gc", "-cache", cacheDir}, &gcOut, &gcErr); code != 0 {
+		t.Fatalf("cache-gc exited %d: %s", code, gcErr.String())
+	}
+	if gcOut.Len() != 0 {
+		t.Fatalf("cache-gc wrote to stdout: %q", gcOut.String())
+	}
+	want := fmt.Sprintf("cache-gc: pruned 1 stale, evicted 0 old, kept %d", len(records)-1)
+	if !strings.Contains(gcErr.String(), want) {
+		t.Fatalf("cache-gc summary %q missing %q", gcErr.String(), want)
+	}
+
+	// A tiny byte budget evicts everything else.
+	gcErr.Reset()
+	if code := run([]string{"-cache-gc", "-cache", cacheDir, "-cache-max-bytes", "1"}, &gcOut, &gcErr); code != 0 {
+		t.Fatalf("budgeted cache-gc exited %d: %s", code, gcErr.String())
+	}
+	if want := fmt.Sprintf("evicted %d old, kept 0 (0 bytes)", len(records)-1); !strings.Contains(gcErr.String(), want) {
+		t.Fatalf("budgeted cache-gc summary %q missing %q", gcErr.String(), want)
+	}
+	left, err := filepath.Glob(filepath.Join(cacheDir, "*.cell"))
+	if err != nil || len(left) != 0 {
+		t.Fatalf("records left after full eviction: %v", left)
+	}
+}
+
+func TestTablesCacheGCBadArgs(t *testing.T) {
+	for _, args := range [][]string{
+		{"-cache-gc"},                                     // no -cache dir
+		{"-cache-gc", "-cache", "does-not-exist-xyz"},     // missing dir must not be created
+		{"-cache-gc", "-cache", "d", "-exp", "table3"},    // experiment flags conflict
+		{"-cache-gc", "-cache", "d", "-cache-readonly"},   // readonly conflicts
+		{"-cache-max-bytes", "10", "-exp", "table3"},      // budget without -cache-gc
+		{"-cache-gc", "-cache", "d", "-no-cache"},         // no-cache conflicts
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code == 0 {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+	if _, err := os.Stat("does-not-exist-xyz"); !os.IsNotExist(err) {
+		t.Fatal("-cache-gc created the missing cache directory")
+	}
+}
+
 func TestTablesBadArgs(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-scale", "nope"}, &out, &errOut); code == 0 {

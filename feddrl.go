@@ -12,7 +12,8 @@
 //     cluster skew), ClusteredNonEqual (CN), EqualShards, NonEqualShards
 //   - the FL loop: NewClient/BuildClients, Run, SingleSet
 //   - the execution engine: NewWorkerPool + RunConfig.Workers, a bounded
-//     worker pool whose parallel results are bit-identical to sequential
+//     work-stealing pool whose parallel results are bit-identical to
+//     sequential and whose nested loops stay parallel under saturation
 //   - aggregators: FedAvg, FedProx, NewFedDRL (the paper's contribution),
 //     or any custom Aggregator implementation
 //   - the DRL agent: NewAgent, DefaultAgentConfig, TrainTwoStage
@@ -154,11 +155,14 @@ var (
 	EvalLossAcc = fl.EvalLossAcc
 )
 
-// Execution engine: the bounded worker pool behind RunConfig.Workers.
-// All parallel paths are bit-identical to sequential execution.
+// Execution engine: the bounded work-stealing pool behind
+// RunConfig.Workers. All parallel paths are bit-identical to sequential
+// execution, and nested parallelism (grid → FL round → evaluation)
+// stays parallel under saturation: blocked or idle lanes steal pending
+// nested work instead of parking.
 type (
-	// WorkerPool is a persistent bounded worker pool; share one across
-	// runs via RunConfig.Pool to cap total parallelism.
+	// WorkerPool is a persistent bounded work-stealing pool; share one
+	// across runs via RunConfig.Pool to cap total parallelism.
 	WorkerPool = engine.Pool
 	// Evaluator is the chunk-parallel test-set evaluator (one model
 	// replica per pool lane).
@@ -216,6 +220,9 @@ type (
 	// ExperimentCacheStats counts one cache handle's hits, misses and
 	// write-backs.
 	ExperimentCacheStats = experiments.CacheStats
+	// ExperimentCacheGCStats reports one cache GC pass (records pruned,
+	// evicted for the byte budget, and kept).
+	ExperimentCacheGCStats = experiments.GCStats
 )
 
 // Experiments.

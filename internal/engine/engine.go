@@ -1,4 +1,4 @@
-// Package engine provides the bounded-worker execution engine behind
+// Package engine provides the work-stealing execution engine behind
 // every parallel path of the simulator: client local training, chunked
 // test-set evaluation and the segment-parallel weight merge (the
 // server-side costs of Fig. 9), as well as the experiment grid runner.
@@ -8,9 +8,25 @@
 // into their own slot, so the outcome is bit-identical to a sequential
 // loop regardless of the number of workers or the interleaving. The
 // pool is persistent (goroutines start once and live until Close) and
-// bounded (at most Workers lanes execute concurrently), replacing the
-// unbounded one-goroutine-per-client fan-out the fl package used
-// before.
+// bounded (at most Workers lanes execute concurrently).
+//
+// Scheduling is work-stealing over bounded per-lane deques. A For call
+// publishes helper entries into the deques instead of requiring an idle
+// worker to rendezvous, so a pool saturated by an outer grid no longer
+// degrades nested calls to caller-inline execution: the entries wait,
+// and any lane that runs out of work — a worker between tasks, or a
+// caller blocked in a For's completion wait — steals them and joins the
+// job. Three properties keep this deadlock-free and contract-preserving:
+//
+//   - The submitting caller always drains its own index cursor, so every
+//     job completes even if no helper ever picks up an entry (entries
+//     are hints, not obligations — a full deque just means less help).
+//   - A caller waiting for stragglers helps by stealing pending work
+//     rather than parking, so blocked lanes keep executing tasks and the
+//     deepest nested loops still see multiple lanes.
+//   - Lane ids are allocated per job from a bounded free list, so within
+//     one For call concurrent tasks always observe distinct lane ids in
+//     [0, min(Workers, n)) no matter which goroutines steal in.
 package engine
 
 import (
@@ -19,20 +35,201 @@ import (
 	"sync/atomic"
 )
 
-// Pool is a persistent bounded worker pool. The zero value is not
-// usable; construct with New. A nil *Pool is valid everywhere and means
-// "run inline, sequentially", so callers can thread an optional pool
-// without branching.
+// dequeCap bounds each lane's pending-entry deque. A For call publishes
+// at most Workers-1 entries, so the cap only matters under deep nesting
+// with many jobs in flight; overflow degrades to less help, never to an
+// error.
+const dequeCap = 64
+
+// forJob is one For/ForWorker call in flight: an atomic index cursor
+// shared by every participant, a completion count, and the bounded set
+// of helper lane ids a thief must acquire before running tasks.
+type forJob struct {
+	task func(worker, i int)
+	n    int
+
+	// next is the shared index cursor. It starts at 1: index 0 is
+	// reserved for the submitting caller, which guarantees lane 0 always
+	// executes work on non-empty jobs.
+	next int64
+	// done counts completed indices; the goroutine whose completion
+	// brings it to n closes fin.
+	done int64
+	fin  chan struct{}
+
+	// laneMu guards freeLanes, the helper lane ids (1..lanes-1) thieves
+	// draw from. Lane 0 is the submitter's and never enters the list, so
+	// at most min(Workers, n) lanes ever run this job concurrently and
+	// per-lane scratch sized by that bound stays exclusive.
+	laneMu    sync.Mutex
+	freeLanes []int
+}
+
+// newJob builds a job over n indices with the given lane budget.
+func newJob(task func(worker, i int), n, lanes int) *forJob {
+	j := &forJob{
+		task:      task,
+		n:         n,
+		next:      1,
+		fin:       make(chan struct{}),
+		freeLanes: make([]int, 0, lanes-1),
+	}
+	// Descending append so thieves pop low lane ids first.
+	for l := lanes - 1; l >= 1; l-- {
+		j.freeLanes = append(j.freeLanes, l)
+	}
+	return j
+}
+
+// finished reports whether every index has completed.
+func (j *forJob) finished() bool {
+	return atomic.LoadInt64(&j.done) >= int64(j.n)
+}
+
+// acquireLane takes a helper lane id, or reports that the job's lane
+// budget is exhausted (enough thieves are already working).
+func (j *forJob) acquireLane() (int, bool) {
+	j.laneMu.Lock()
+	defer j.laneMu.Unlock()
+	if len(j.freeLanes) == 0 {
+		return 0, false
+	}
+	l := j.freeLanes[len(j.freeLanes)-1]
+	j.freeLanes = j.freeLanes[:len(j.freeLanes)-1]
+	return l, true
+}
+
+func (j *forJob) releaseLane(l int) {
+	j.laneMu.Lock()
+	j.freeLanes = append(j.freeLanes, l)
+	j.laneMu.Unlock()
+}
+
+// complete records k finished indices and signals completion to the
+// waiting submitter when the job is drained.
+func (j *forJob) complete(k int) {
+	if atomic.AddInt64(&j.done, int64(k)) == int64(j.n) {
+		close(j.fin)
+	}
+}
+
+// run drains the shared cursor on the given lane.
+func (j *forJob) run(lane int) {
+	for {
+		i := int(atomic.AddInt64(&j.next, 1)) - 1
+		if i >= j.n {
+			return
+		}
+		j.task(lane, i)
+		j.complete(1)
+	}
+}
+
+// participate joins a job popped from a deque: claim a lane, help drain
+// the cursor, give the lane back. Entries for drained or fully-staffed
+// jobs are no-ops.
+func (j *forJob) participate() {
+	if j.finished() || int(atomic.LoadInt64(&j.next)) >= j.n {
+		return
+	}
+	lane, ok := j.acquireLane()
+	if !ok {
+		return
+	}
+	j.run(lane)
+	j.releaseLane(lane)
+}
+
+// laneDeque is one lane's bounded deque of pending job entries. The
+// owning worker pops its newest entry (LIFO keeps nested work hot);
+// thieves take the oldest (FIFO drains the most-starved job first) —
+// the classic work-stealing discipline. A mutex per deque is plenty
+// here: entries are pushed per For call, not per index.
+type laneDeque struct {
+	mu    sync.Mutex
+	buf   [dequeCap]*forJob
+	head  int
+	count int
+}
+
+// push appends an entry, evicting entries of already-finished jobs if
+// the deque is full. Returns false when there is genuinely no room.
+func (d *laneDeque) push(j *forJob) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count == dequeCap {
+		d.compactLocked()
+	}
+	if d.count == dequeCap {
+		return false
+	}
+	d.buf[(d.head+d.count)%dequeCap] = j
+	d.count++
+	return true
+}
+
+// compactLocked drops entries whose jobs have already drained — they
+// would be no-ops anyway and only pin memory.
+func (d *laneDeque) compactLocked() {
+	w := 0
+	for r := 0; r < d.count; r++ {
+		j := d.buf[(d.head+r)%dequeCap]
+		if j.finished() {
+			continue
+		}
+		d.buf[(d.head+w)%dequeCap] = j
+		w++
+	}
+	for r := w; r < d.count; r++ {
+		d.buf[(d.head+r)%dequeCap] = nil
+	}
+	d.count = w
+}
+
+// popOwn takes the newest entry (owner side).
+func (d *laneDeque) popOwn() *forJob {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count == 0 {
+		return nil
+	}
+	d.count--
+	idx := (d.head + d.count) % dequeCap
+	j := d.buf[idx]
+	d.buf[idx] = nil
+	return j
+}
+
+// popSteal takes the oldest entry (thief side).
+func (d *laneDeque) popSteal() *forJob {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.count == 0 {
+		return nil
+	}
+	j := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head = (d.head + 1) % dequeCap
+	d.count--
+	return j
+}
+
+// Pool is a persistent bounded work-stealing pool. The zero value is
+// not usable; construct with New. A nil *Pool is valid everywhere and
+// means "run inline, sequentially", so callers can thread an optional
+// pool without branching.
 type Pool struct {
 	workers int
-	// handoff is unbuffered: a task is handed over only when a worker
-	// goroutine is idle and already receiving. If every worker is busy
-	// (or parked in a nested For's wait), the submitting caller simply
-	// runs the work itself — this is what makes nested For calls
-	// deadlock-free by construction.
-	handoff chan func()
-	quit    chan struct{}
-	once    sync.Once
+	deques  []laneDeque
+	// rr spreads entry publication and external steal scans across the
+	// deques so no single lane becomes the contention point.
+	rr int64
+	// notify wakes parked workers when entries are published. It is a
+	// hint channel: a dropped send is safe because jobs never depend on
+	// their entries being drained.
+	notify chan struct{}
+	quit   chan struct{}
+	once   sync.Once
 }
 
 // New builds a pool with the given number of lanes. workers <= 0 selects
@@ -44,24 +241,114 @@ func New(workers int) *Pool {
 	}
 	p := &Pool{
 		workers: workers,
-		handoff: make(chan func()),
+		deques:  make([]laneDeque, workers),
+		notify:  make(chan struct{}, workers),
 		quit:    make(chan struct{}),
 	}
-	// The submitting caller always participates as lane 0, so only
-	// workers-1 helper goroutines are needed.
-	for i := 0; i < workers-1; i++ {
-		go p.worker()
+	// The submitting caller always participates in its own jobs, so only
+	// workers-1 stealing goroutines are needed. Worker g owns deques[g];
+	// deques[0] takes spillover publications and is steal-only.
+	for g := 1; g < workers; g++ {
+		go p.worker(g)
 	}
 	return p
 }
 
-func (p *Pool) worker() {
+// worker is one stealing goroutine: drain the own deque, steal from
+// siblings, park until new entries are announced.
+func (p *Pool) worker(id int) {
 	for {
+		if j := p.grab(id); j != nil {
+			j.participate()
+			continue
+		}
 		select {
-		case f := <-p.handoff:
-			f()
+		case <-p.notify:
 		case <-p.quit:
 			return
+		}
+	}
+}
+
+// grab pops the lane's own deque first, then scans the others as a
+// thief.
+func (p *Pool) grab(id int) *forJob {
+	if j := p.deques[id].popOwn(); j != nil {
+		return j
+	}
+	for k := 1; k < len(p.deques); k++ {
+		if j := p.deques[(id+k)%len(p.deques)].popSteal(); j != nil {
+			return j
+		}
+	}
+	return nil
+}
+
+// grabAny is the steal scan for goroutines that own no deque (external
+// callers helping while they wait).
+func (p *Pool) grabAny() *forJob {
+	start := int(atomic.AddInt64(&p.rr, 1))
+	for k := 0; k < len(p.deques); k++ {
+		if j := p.deques[(start+k)%len(p.deques)].popSteal(); j != nil {
+			return j
+		}
+	}
+	return nil
+}
+
+// announce publishes up to k helper entries for j across the per-lane
+// deques — one per deque, round-robin — and wakes as many parked
+// workers. Unlike the old unbuffered handoff, a saturated pool enqueues
+// instead of dropping: the entries wait until some lane runs dry or
+// blocks in a completion wait and steals them.
+func (p *Pool) announce(j *forJob, k int) {
+	if k <= 0 {
+		return
+	}
+	start := int(atomic.AddInt64(&p.rr, 1))
+	pushed := 0
+	for i := 0; i < len(p.deques) && pushed < k; i++ {
+		if p.deques[(start+i)%len(p.deques)].push(j) {
+			pushed++
+		}
+	}
+	for i := 0; i < pushed; i++ {
+		select {
+		case p.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// helpUntil blocks until j completes — but a blocked lane is a wasted
+// lane, so while stragglers hold the job open it steals pending entries
+// (typically nested jobs of sibling cells) and runs them. When there is
+// nothing to steal it parks on BOTH the completion signal and the
+// pool's announce wakeups: a thief running one of j's indices may
+// announce a nested job after this lane's last scan, and if that
+// thief's task then blocks waiting for a sibling index to run
+// concurrently, this parked lane is the only one left to recruit —
+// parking on fin alone would orphan the entry and deadlock. Every
+// consumed wakeup is followed by a scan before fin is honored, so a
+// wakeup can never be swallowed by a lane that leaves without looking.
+func (p *Pool) helpUntil(j *forJob) {
+	for {
+		select {
+		case <-j.fin:
+			return
+		default:
+		}
+		if o := p.grabAny(); o != nil {
+			o.participate()
+			continue
+		}
+		select {
+		case <-j.fin:
+			return
+		case <-p.notify:
+			if o := p.grabAny(); o != nil {
+				o.participate()
+			}
 		}
 	}
 }
@@ -93,11 +380,16 @@ func (p *Pool) For(n int, task func(i int)) {
 }
 
 // ForWorker is For with a lane id: task(w, i) runs index i on lane w,
-// where 0 <= w < Workers() and two tasks running concurrently within
-// this call always observe distinct w. Lane ids index per-call scratch
-// (model replicas, accumulators); they are NOT distinct across separate
-// concurrent For calls, so scratch must belong to the call, not the
-// pool.
+// where 0 <= w < min(Workers(), n) and two tasks running concurrently
+// within this call always observe distinct w. Lane ids index per-call
+// scratch (model replicas, accumulators); they are NOT distinct across
+// separate concurrent For calls, so scratch must belong to the call,
+// not the pool.
+//
+// The call is safe at any nesting depth and any saturation level: the
+// caller itself drains the cursor (lane 0 runs index 0 first, then
+// whatever the thieves leave), and while waiting for stolen indices to
+// finish it steals other pending work instead of parking.
 func (p *Pool) ForWorker(n int, task func(worker, i int)) {
 	if n <= 0 {
 		return
@@ -108,38 +400,16 @@ func (p *Pool) ForWorker(n int, task func(worker, i int)) {
 		}
 		return
 	}
-	var next int64
-	run := func(lane int) {
-		for {
-			i := int(atomic.AddInt64(&next, 1)) - 1
-			if i >= n {
-				return
-			}
-			task(lane, i)
-		}
+	lanes := p.workers
+	if lanes > n {
+		lanes = n
 	}
-	helpers := p.workers - 1
-	if helpers > n-1 {
-		helpers = n - 1
-	}
-	var wg sync.WaitGroup
-	for h := 1; h <= helpers; h++ {
-		lane := h
-		wg.Add(1)
-		f := func() {
-			defer wg.Done()
-			run(lane)
-		}
-		select {
-		case p.handoff <- f:
-		default:
-			// No idle worker right now (the pool is saturated, e.g. by
-			// sibling experiment cells): skip the helper and let the
-			// caller cover its share. Correctness is unaffected — the
-			// atomic cursor hands every index to whoever is running.
-			wg.Done()
-		}
-	}
-	run(0)
-	wg.Wait()
+	j := newJob(task, n, lanes)
+	p.announce(j, lanes-1)
+	// The cursor starts at 1 and index 0 runs here, so lane 0 (the
+	// caller) always executes work while thieves start on index 1.
+	task(0, 0)
+	j.complete(1)
+	j.run(0)
+	p.helpUntil(j)
 }

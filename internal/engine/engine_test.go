@@ -72,8 +72,9 @@ func TestForWorkerLaneExclusive(t *testing.T) {
 }
 
 // TestNestedFor exercises the saturation path: every outer task issues
-// an inner For on the same pool. With an unbuffered handoff this must
-// neither deadlock nor lose indices.
+// an inner For on the same pool. The work-stealing scheduler must
+// neither deadlock nor lose indices, whichever lanes steal the nested
+// entries.
 func TestNestedFor(t *testing.T) {
 	p := New(2)
 	defer p.Close()

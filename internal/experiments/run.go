@@ -107,7 +107,11 @@ func runMethodOn(s Scale, spec dataset.Spec, partName, method string, n, k int, 
 // experiment invocation. It owns the invocation's engine pool: prefetch
 // fans independent cells out across the pool's lanes, and every cell's
 // inner federated run borrows the same lanes, keeping total parallelism
-// bounded. Every grid entry point must release the pool with
+// bounded. The pool's work-stealing scheduler is what keeps the grid's
+// three layers (cells → FL rounds → evaluation/merge) all parallel: a
+// lane that drains its cells steals the nested jobs of the cells still
+// running, so the tail of a grid is finished by every lane instead of
+// one. Every grid entry point must release the pool with
 // `defer st.close()` so a panicking cell run cannot leak it.
 //
 // An optional content-addressed Cache extends the in-memory store

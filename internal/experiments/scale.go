@@ -74,9 +74,11 @@ type Scale struct {
 	Parallel bool
 	// Workers is the bounded engine width used both across independent
 	// experiment cells (Table 3 / Fig. 7 / Fig. 8 grids) and inside each
-	// federated run (client training, evaluation, aggregation). 0 means
-	// GOMAXPROCS when Parallel is set, sequential otherwise. Any value
-	// produces bit-identical experiment output.
+	// federated run (client training, evaluation, aggregation); the
+	// work-stealing scheduler shares the same lanes across all three
+	// layers, so nested loops stay parallel even when the grid saturates
+	// the pool. 0 means GOMAXPROCS when Parallel is set, sequential
+	// otherwise. Any value produces bit-identical experiment output.
 	Workers int
 }
 

@@ -178,6 +178,8 @@ const aggSegment = 8192
 
 // AggregateOn is Aggregate executed segment-parallel on a worker pool
 // (nil means sequential). Results are bit-identical to Aggregate.
+// Under a saturated shared pool the segments enqueue for stealing like
+// any nested job, so the merge stays parallel inside a busy grid.
 func AggregateOn(updates []Update, alpha []float64, pool *engine.Pool) []float64 {
 	if len(updates) == 0 || len(alpha) != len(updates) {
 		panic(fmt.Sprintf("fl: Aggregate with %d updates and %d weights", len(updates), len(alpha)))

@@ -113,8 +113,9 @@ func CompressUpdates(updates []Update, global []float64, keepFrac float64) []Spa
 
 // CompressUpdatesOn is CompressUpdates executed on an engine pool: the
 // per-client top-k selections are independent, so they fan out across
-// the pool's lanes, one update per index slot. A nil pool runs inline.
-// The result is bit-identical to the sequential path at any pool width.
+// the pool's lanes (stealable like any engine job when the pool is
+// busy), one update per index slot. A nil pool runs inline. The result
+// is bit-identical to the sequential path at any pool width.
 func CompressUpdatesOn(updates []Update, global []float64, keepFrac float64, pool *engine.Pool) []SparseDelta {
 	if keepFrac <= 0 || keepFrac > 1 {
 		panic(fmt.Sprintf("fl: keepFrac %v out of (0,1]", keepFrac))

@@ -9,11 +9,15 @@ import (
 
 // Evaluator performs chunk-parallel full-dataset evaluation on a worker
 // pool, holding one model replica (and loss scratch) per pool lane so
-// concurrent chunks never share forward-pass state. Results are
-// bit-identical to EvalLossAcc on a single model with the same weights:
-// each evalChunk-sized chunk's loss and accuracy are computed by exactly
-// the same operations, and the cross-chunk reduction runs sequentially
-// in chunk order.
+// concurrent chunks never share forward-pass state. The engine's
+// work-stealing scheduler keeps this layer parallel even when an outer
+// experiment grid saturates the pool: lanes that drain their own cells
+// steal pending evaluation chunks, and whichever lane steals a chunk,
+// the replica it uses is indexed by the call-local lane id, never by
+// the thief's identity. Results are bit-identical to EvalLossAcc on a
+// single model with the same weights: each evalChunk-sized chunk's loss
+// and accuracy are computed by exactly the same operations, and the
+// cross-chunk reduction runs sequentially in chunk order.
 type Evaluator struct {
 	pool    *engine.Pool
 	factory nn.Factory

@@ -30,15 +30,21 @@ type RunConfig struct {
 	Seed uint64
 	// Workers bounds the round engine's parallelism: client local
 	// training, test-set evaluation and the weight merge all run on one
-	// bounded pool with this many lanes. 0 means GOMAXPROCS when
-	// Parallel is set and sequential otherwise; 1 forces sequential.
-	// Results are bit-identical across every Workers value because each
-	// client owns its RNG and the engine reduces in deterministic order.
+	// bounded work-stealing pool with this many lanes. When the pool is
+	// shared and saturated (an experiment grid occupying every lane),
+	// these nested loops enqueue on the pool's deques and are stolen by
+	// lanes as they free up, instead of degrading to serial execution.
+	// 0 means GOMAXPROCS when Parallel is set and sequential otherwise;
+	// 1 forces sequential. Results are bit-identical across every
+	// Workers value because each client owns its RNG and the engine
+	// reduces in deterministic order.
 	Workers int
 	// Pool optionally supplies a shared execution pool (the experiments
-	// grid runner threads one pool through many concurrent cells). When
-	// set it overrides Workers and the caller owns its lifecycle; when
-	// nil, Run creates and closes a pool of Workers lanes itself.
+	// grid runner threads one pool through many concurrent cells, and
+	// the work-stealing scheduler keeps this run's nested loops parallel
+	// even while sibling cells hold every lane). When set it overrides
+	// Workers and the caller owns its lifecycle; when nil, Run creates
+	// and closes a pool of Workers lanes itself.
 	Pool *engine.Pool
 	// Parallel trains the selected clients in goroutines.
 	//

@@ -11,6 +11,12 @@ go test ./...
 go test -race ./internal/engine/... ./internal/fl/...
 go test -race -run 'TestConcurrentFanOutSmoke|TestCacheConcurrentFanOutSmoke' ./internal/experiments/
 
+# Work-stealing scheduler gate: the engine package under -race with the
+# nested determinism matrix (saturated For/ForWorker at worker counts
+# 1/2/4/8 bit-identical to sequential) asserted explicitly in short
+# mode, plus the steal-proof and sibling-grid stress tests.
+go test -race -short -run 'TestNestedDeterminismMatrix|TestStealVsInlineEquivalence|TestStealIntoSaturatedNestedFor|TestStealWakeForLateNestedJob|TestConcurrentSiblingGridsRace' ./internal/engine/
+
 # Key-codec fuzz seeds in short mode (the corpus only; `make fuzz` runs
 # the fuzzing engine proper).
 go test -short -run 'FuzzParseCellKey|TestCellKeyPropertyRoundTrip' ./internal/experiments/
@@ -36,3 +42,11 @@ diff "$tmp/unsharded.txt" "$tmp/cold.txt"
 "$tmp/tables" -exp table3 -scale ci -rounds 2 -seed 1 -cache "$tmp/cells" 2> "$tmp/warm.err" | tail -n +2 > "$tmp/warm.txt"
 diff "$tmp/cold.txt" "$tmp/warm.txt"
 grep -q ' 0 misses' "$tmp/warm.err"
+
+# Cache GC: a maintenance pass over a healthy cache prunes nothing, and
+# the cache still serves every cell afterwards.
+"$tmp/tables" -cache-gc -cache "$tmp/cells" 2> "$tmp/gc.err"
+grep -q 'pruned 0 stale' "$tmp/gc.err"
+"$tmp/tables" -exp table3 -scale ci -rounds 2 -seed 1 -cache "$tmp/cells" 2> "$tmp/postgc.err" | tail -n +2 > "$tmp/postgc.txt"
+diff "$tmp/cold.txt" "$tmp/postgc.txt"
+grep -q ' 0 misses' "$tmp/postgc.err"
