@@ -25,12 +25,14 @@ race:
 bench:
 	$(GO) test -bench=Engine -run TestEngineBenchJSON -benchtime=1x .
 
-# One iteration of every engine benchmark (round loop at each width plus
-# the nested-grid stealing case): a seconds-long smoke that the
-# benchmark harness itself still runs, without the timing reps of
-# `make bench`.
+# One iteration of every engine and compute benchmark (round loop at
+# each width, the nested-grid stealing case, blocked/naive GEMM and the
+# conv passes): a seconds-long smoke that the benchmark harness itself
+# still runs, without the timing reps of `make bench`. Also emits and
+# sanity-checks BENCH_compute.json (schema + speedup + allocation gates
+# asserted by TestComputeBenchJSON).
 bench-smoke:
-	$(GO) test -bench 'EngineRoundLoop|NestedGridSteal' -benchtime=1x -run '^$$' .
+	$(GO) test -bench 'EngineRoundLoop|NestedGridSteal|ComputeGEMM|ComputeConv' -benchtime=1x -run 'TestComputeBenchJSON' .
 
 # Fuzz the cell-key codec (the identity under artifact files, shard
 # assignment and cache addressing) with the native fuzzing engine.

@@ -34,6 +34,7 @@ import (
 	"feddrl/internal/partition"
 	"feddrl/internal/rng"
 	"feddrl/internal/serialize"
+	"feddrl/internal/tensor"
 )
 
 // Dataset and synthesis types.
@@ -177,6 +178,30 @@ var (
 	NewEvaluator = fl.NewEvaluator
 	// AggregateOn is Aggregate executed segment-parallel on a pool.
 	AggregateOn = fl.AggregateOn
+)
+
+// Compute kernels and scratch arenas: the blocked, register-tiled GEMM
+// kernels under every Forward/Backward, and the per-network buffer
+// arenas that make warm train steps allocation-free. fl.Run wires both
+// automatically; these re-exports serve custom training loops.
+type (
+	// ModelScratch is a per-network arena of reusable activation and
+	// gradient buffers (see Network.ForwardScratch/BackwardScratch).
+	ModelScratch = nn.Scratch
+	// PoolStats is a snapshot of a WorkerPool's optional scheduling
+	// counters (Pool.EnableStats / Pool.Stats).
+	PoolStats = engine.Stats
+)
+
+var (
+	// NewModelScratch builds an empty per-network scratch arena.
+	NewModelScratch = nn.NewScratch
+	// SetKernelPool installs the pool that large tensor kernels fan out
+	// on (nil reverts to sequential); fl.Run calls it automatically.
+	SetKernelPool = tensor.SetParallel
+	// KernelBackend reports the active GEMM micro-kernel ("avx" or
+	// "generic").
+	KernelBackend = tensor.KernelBackend
 )
 
 // DRL agent.

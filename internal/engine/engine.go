@@ -230,6 +230,72 @@ type Pool struct {
 	notify chan struct{}
 	quit   chan struct{}
 	once   sync.Once
+
+	// Instrumentation (EnableStats/Stats). statsOn gates every counter
+	// update behind one atomic load, so the disabled path costs a
+	// predictable never-taken branch and the scheduler's behavior is
+	// identical either way.
+	statsOn  int32
+	steals   int64
+	enqueues int64
+	busyCur  int64
+	busyMax  int64
+}
+
+// Stats is a snapshot of the pool's scheduling counters (zero unless
+// EnableStats was called): entries published to the deques, successful
+// steals of pending entries, and the peak number of tasks observed
+// in flight at once. For flat workloads MaxLanesBusy is bounded by
+// Workers; under nesting a lane blocked in an outer task while it
+// steals inner work counts at every level, so the peak measures
+// scheduling depth × occupancy rather than physical lanes.
+type Stats struct {
+	Enqueues     int64
+	Steals       int64
+	MaxLanesBusy int64
+}
+
+// EnableStats turns on the sampled occupancy/steal counters. Counters
+// start from zero at enable time; enabling is idempotent and safe at
+// any point, including while jobs run. A nil pool ignores the call.
+func (p *Pool) EnableStats() {
+	if p == nil {
+		return
+	}
+	atomic.StoreInt32(&p.statsOn, 1)
+}
+
+// Stats returns the counters gathered since EnableStats. A nil or
+// uninstrumented pool reports zeros.
+func (p *Pool) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	return Stats{
+		Enqueues:     atomic.LoadInt64(&p.enqueues),
+		Steals:       atomic.LoadInt64(&p.steals),
+		MaxLanesBusy: atomic.LoadInt64(&p.busyMax),
+	}
+}
+
+// statsEnabled reports whether counters are live.
+func (p *Pool) statsEnabled() bool { return atomic.LoadInt32(&p.statsOn) != 0 }
+
+// noteSteal counts one successful steal of a pending entry.
+func (p *Pool) noteSteal() {
+	if p.statsEnabled() {
+		atomic.AddInt64(&p.steals, 1)
+	}
+}
+
+// busyPeak raises busyMax to cur if larger.
+func (p *Pool) busyPeak(cur int64) {
+	for {
+		m := atomic.LoadInt64(&p.busyMax)
+		if cur <= m || atomic.CompareAndSwapInt64(&p.busyMax, m, cur) {
+			return
+		}
+	}
 }
 
 // New builds a pool with the given number of lanes. workers <= 0 selects
@@ -278,6 +344,7 @@ func (p *Pool) grab(id int) *forJob {
 	}
 	for k := 1; k < len(p.deques); k++ {
 		if j := p.deques[(id+k)%len(p.deques)].popSteal(); j != nil {
+			p.noteSteal()
 			return j
 		}
 	}
@@ -290,6 +357,7 @@ func (p *Pool) grabAny() *forJob {
 	start := int(atomic.AddInt64(&p.rr, 1))
 	for k := 0; k < len(p.deques); k++ {
 		if j := p.deques[(start+k)%len(p.deques)].popSteal(); j != nil {
+			p.noteSteal()
 			return j
 		}
 	}
@@ -311,6 +379,9 @@ func (p *Pool) announce(j *forJob, k int) {
 		if p.deques[(start+i)%len(p.deques)].push(j) {
 			pushed++
 		}
+	}
+	if pushed > 0 && p.statsEnabled() {
+		atomic.AddInt64(&p.enqueues, int64(pushed))
 	}
 	for i := 0; i < pushed; i++ {
 		select {
@@ -371,6 +442,22 @@ func (p *Pool) Close() {
 	p.once.Do(func() { close(p.quit) })
 }
 
+// Closed reports whether Close has been called (a nil pool counts as
+// closed). Consumers holding a long-lived reference — the tensor
+// kernels' parallel hook — use it to fall back to sequential execution
+// instead of publishing work no worker will drain.
+func (p *Pool) Closed() bool {
+	if p == nil {
+		return true
+	}
+	select {
+	case <-p.quit:
+		return true
+	default:
+		return false
+	}
+}
+
 // For runs task(i) for every i in [0, n), using up to Workers lanes
 // concurrently, and returns when all indices have completed. Each index
 // runs exactly once; tasks must confine their writes to per-index state
@@ -393,6 +480,14 @@ func (p *Pool) For(n int, task func(i int)) {
 func (p *Pool) ForWorker(n int, task func(worker, i int)) {
 	if n <= 0 {
 		return
+	}
+	if p != nil && p.statsEnabled() {
+		inner := task
+		task = func(w, i int) {
+			p.busyPeak(atomic.AddInt64(&p.busyCur, 1))
+			inner(w, i)
+			atomic.AddInt64(&p.busyCur, -1)
+		}
 	}
 	if p == nil || p.workers == 1 || n == 1 {
 		for i := 0; i < n; i++ {

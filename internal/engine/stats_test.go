@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestStatsDisabledByDefault: an uninstrumented pool reports zeros no
+// matter how much work it runs, and a nil pool accepts both calls.
+func TestStatsDisabledByDefault(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	var sum int64
+	p.For(64, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+	if s := p.Stats(); s != (Stats{}) {
+		t.Fatalf("disabled stats = %+v, want zeros", s)
+	}
+	var nilPool *Pool
+	nilPool.EnableStats()
+	if s := nilPool.Stats(); s != (Stats{}) {
+		t.Fatalf("nil pool stats = %+v, want zeros", s)
+	}
+}
+
+// TestStatsCountWork: with stats enabled, a saturating workload must
+// record enqueues and a busy-lane peak within the worker bound; results
+// stay identical to the uninstrumented run.
+func TestStatsCountWork(t *testing.T) {
+	const workers, tasks = 4, 32
+	run := func(instrument bool) ([]float64, Stats) {
+		p := New(workers)
+		defer p.Close()
+		if instrument {
+			p.EnableStats()
+		}
+		out := make([]float64, tasks)
+		p.For(tasks, func(i int) {
+			s := 0.0
+			for t := 0; t < 20000; t++ {
+				s += float64(t^i) * 0.5
+			}
+			out[i] = s
+		})
+		return out, p.Stats()
+	}
+	plain, _ := run(false)
+	instrumented, st := run(true)
+	for i := range plain {
+		if plain[i] != instrumented[i] {
+			t.Fatalf("instrumentation changed results at %d: %v vs %v", i, plain[i], instrumented[i])
+		}
+	}
+	if st.Enqueues <= 0 {
+		t.Fatalf("no enqueues recorded: %+v", st)
+	}
+	if st.MaxLanesBusy < 1 || st.MaxLanesBusy > workers {
+		t.Fatalf("MaxLanesBusy %d out of [1,%d]", st.MaxLanesBusy, workers)
+	}
+}
+
+// TestStatsSeesSteals: steals of published entries must be counted. The
+// nested-grid shape guarantees steals structurally: outer cells
+// saturate the pool, each runs inner Fors whose entries can only be
+// drained by OTHER lanes — outer callers blocked in their completion
+// waits (grabAny) or workers between tasks (grab) — and an inner job's
+// indices cannot all complete on the submitting lane alone when a
+// sibling holds them, so across enough rounds at least one successful
+// steal is recorded on any scheduler interleaving that exercises
+// helping at all. Retries bound flake: a single quiet round on a
+// one-core host is possible, sixteen are not.
+func TestStatsSeesSteals(t *testing.T) {
+	for attempt := 0; attempt < 16; attempt++ {
+		p := New(4)
+		p.EnableStats()
+		sink := make([]float64, 8)
+		p.For(8, func(cell int) {
+			part := make([]float64, 8)
+			for r := 0; r < 4; r++ {
+				p.For(8, func(j int) {
+					s := 0.0
+					for k := 0; k < 120000; k++ {
+						s += float64(k^j) * 0.5
+					}
+					part[j] = s
+				})
+			}
+			sink[cell] = part[cell]
+		})
+		st := p.Stats()
+		p.Close()
+		if st.Steals > 0 {
+			t.Logf("attempt %d: %+v", attempt, st)
+			return
+		}
+	}
+	t.Fatal("no steal recorded across 16 saturated nested runs")
+}

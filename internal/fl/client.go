@@ -50,12 +50,22 @@ type Update struct {
 // deterministic: all randomness flows from the seed given at
 // construction, so parallel and sequential execution produce identical
 // results.
+//
+// Each client also owns a scratch arena (nn.Scratch), its loss scratch
+// and its minibatch/permutation buffers, so across rounds of a grid
+// cell the warm train steps and inference passes reuse the same memory
+// instead of re-allocating every activation.
 type Client struct {
 	ID   int
 	Data *dataset.Dataset
 
-	model *nn.Network
-	r     *rng.RNG
+	model   *nn.Network
+	r       *rng.RNG
+	scratch *nn.Scratch
+	ce      *nn.CrossEntropy
+	perm    []int
+	xb      *tensor.Tensor
+	yb      []int
 }
 
 // NewClient builds a client over its shard. factory instantiates the
@@ -65,10 +75,12 @@ func NewClient(id int, data *dataset.Dataset, factory nn.Factory, seed uint64) *
 		panic("fl: NewClient with nil data")
 	}
 	return &Client{
-		ID:    id,
-		Data:  data,
-		model: factory(seed),
-		r:     rng.New(seed ^ 0x5bd1e995),
+		ID:      id,
+		Data:    data,
+		model:   factory(seed),
+		r:       rng.New(seed ^ 0x5bd1e995),
+		scratch: nn.NewScratch(),
+		ce:      nn.NewCrossEntropy(),
 	}
 }
 
@@ -90,7 +102,18 @@ func EvalLossAcc(m *nn.Network, d *dataset.Dataset) (loss, acc float64) {
 	if d.N == 0 {
 		return 0, 0
 	}
-	return evalChunked([]*nn.Network{m}, []*nn.CrossEntropy{nn.NewCrossEntropy()}, d, nil)
+	return evalChunked([]*nn.Network{m}, []*nn.CrossEntropy{nn.NewCrossEntropy()}, []*nn.Scratch{nil}, d, nil)
+}
+
+// evalLoss is the client's arena-backed inference pass: the same chunk
+// walk as EvalLoss, reusing the client's model scratch and loss buffers
+// round over round.
+func (c *Client) evalLoss() float64 {
+	if c.Data.N == 0 {
+		return 0
+	}
+	loss, _ := evalChunked([]*nn.Network{c.model}, []*nn.CrossEntropy{c.ce}, []*nn.Scratch{c.scratch}, c.Data, nil)
+	return loss
 }
 
 // Run performs one communication round on the client (Algorithm 2 lines
@@ -107,35 +130,42 @@ func (c *Client) Run(global []float64, lc LocalConfig) Update {
 		u.Weights = append([]float64(nil), global...)
 		return u
 	}
-	u.LossBefore = EvalLoss(c.model, c.Data)
+	u.LossBefore = c.evalLoss()
 
 	opt := nn.NewSGD(lc.LR)
 	if lc.ProxMu > 0 {
 		opt.ProxMu = lc.ProxMu
 		opt.ProxRef = global
 	}
-	ce := nn.NewCrossEntropy()
 	batch := lc.Batch
 	if batch > c.Data.N {
 		batch = c.Data.N
 	}
-	xb := tensor.New(batch, c.Data.Dim)
-	yb := make([]int, batch)
+	if c.xb == nil || c.xb.Rows() != batch || c.xb.Cols() != c.Data.Dim {
+		c.xb = tensor.New(batch, c.Data.Dim)
+	}
+	if cap(c.yb) < batch {
+		c.yb = make([]int, batch)
+	}
+	if cap(c.perm) < c.Data.N {
+		c.perm = make([]int, c.Data.N)
+	}
+	xb, yb, perm := c.xb, c.yb[:batch], c.perm[:c.Data.N]
 	for e := 0; e < lc.Epochs; e++ {
-		perm := c.r.Perm(c.Data.N)
+		c.r.PermInto(perm)
 		for start := 0; start+batch <= c.Data.N; start += batch {
 			for bi := 0; bi < batch; bi++ {
 				idx := perm[start+bi]
 				copy(xb.Row(bi), c.Data.Sample(idx))
 				yb[bi] = c.Data.Y[idx]
 			}
-			ce.Forward(c.model.Forward(xb, true), yb)
+			c.ce.Forward(c.model.ForwardScratch(c.scratch, xb, true), yb)
 			c.model.ZeroGrads()
-			c.model.Backward(ce.Backward())
+			c.model.BackwardScratch(c.scratch, c.ce.Backward())
 			opt.Step(c.model)
 		}
 	}
-	u.LossAfter = EvalLoss(c.model, c.Data)
+	u.LossAfter = c.evalLoss()
 	u.Weights = c.model.ParamVector()
 	return u
 }

@@ -22,11 +22,14 @@ type Evaluator struct {
 	pool    *engine.Pool
 	factory nn.Factory
 	seed    uint64
-	// models/ces grow lazily to min(lanes, chunks): a small test set
-	// never pays for replicas its chunk count cannot occupy. Evaluator
-	// is not safe for concurrent Eval calls.
-	models []*nn.Network
-	ces    []*nn.CrossEntropy
+	// models/ces/scratches grow lazily to min(lanes, chunks): a small
+	// test set never pays for replicas its chunk count cannot occupy.
+	// Each lane replica owns its scratch arena so concurrent chunks
+	// reuse buffers without sharing them. Evaluator is not safe for
+	// concurrent Eval calls.
+	models    []*nn.Network
+	ces       []*nn.CrossEntropy
+	scratches []*nn.Scratch
 }
 
 // NewEvaluator builds an evaluator over pool. A nil pool is valid and
@@ -54,18 +57,19 @@ func (e *Evaluator) Eval(global []float64, d *dataset.Dataset) (loss, acc float6
 	for len(e.models) < need {
 		e.models = append(e.models, e.factory(e.seed))
 		e.ces = append(e.ces, nn.NewCrossEntropy())
+		e.scratches = append(e.scratches, nn.NewScratch())
 	}
 	for i := 0; i < need; i++ {
 		e.models[i].SetParamVector(global)
 	}
-	return evalChunked(e.models, e.ces, d, e.pool)
+	return evalChunked(e.models, e.ces, e.scratches, d, e.pool)
 }
 
 // evalChunked is the shared evaluation kernel: chunk i is scored by lane
 // w's replica, per-chunk sums land in per-chunk slots, and the final
 // reduction walks the slots in order — the same additions in the same
 // order as the sequential loop.
-func evalChunked(models []*nn.Network, ces []*nn.CrossEntropy, d *dataset.Dataset, pool *engine.Pool) (loss, acc float64) {
+func evalChunked(models []*nn.Network, ces []*nn.CrossEntropy, scratches []*nn.Scratch, d *dataset.Dataset, pool *engine.Pool) (loss, acc float64) {
 	chunks := (d.N + evalChunk - 1) / evalChunk
 	chunkLoss := make([]float64, chunks)
 	chunkCorrect := make([]float64, chunks)
@@ -77,7 +81,7 @@ func evalChunked(models []*nn.Network, ces []*nn.CrossEntropy, d *dataset.Datase
 		}
 		n := end - start
 		x := tensor.FromSlice(d.X[start*d.Dim:end*d.Dim], n, d.Dim)
-		l, a := ces[w].Eval(models[w].Forward(x, false), d.Y[start:end])
+		l, a := ces[w].Eval(models[w].ForwardScratch(scratches[w], x, false), d.Y[start:end])
 		chunkLoss[i] = l * float64(n)
 		chunkCorrect[i] = a * float64(n)
 	})

@@ -11,6 +11,7 @@ import (
 	"feddrl/internal/metrics"
 	"feddrl/internal/nn"
 	"feddrl/internal/rng"
+	"feddrl/internal/tensor"
 )
 
 // RunConfig configures a federated training run (Algorithm 2).
@@ -213,6 +214,20 @@ func Run(cfg RunConfig, clients []*Client, test *dataset.Dataset, agg Aggregator
 	if pool == nil && cfg.effectiveWorkers() > 1 {
 		pool = engine.New(cfg.effectiveWorkers())
 		defer pool.Close()
+		// Uninstall only our own hook: a concurrent Run that installed
+		// its pool in the meantime keeps it. (Closed pools are treated
+		// as absent by the kernels regardless.)
+		defer tensor.ClearParallel(pool)
+	}
+	if pool != nil {
+		// Large tensor kernels fan out on the SAME pool as client
+		// training and evaluation (tensor.SetParallel), so kernel
+		// parallelism is work-stealing-scheduled with the rest of the
+		// round loop instead of spawning raw goroutines that
+		// oversubscribe the lanes. Results are bit-identical with any
+		// pool or none, so the process-global hook is safe even when
+		// concurrent grid cells swap it.
+		tensor.SetParallel(pool)
 	}
 	var ev *Evaluator
 	if test != nil && pool != nil {

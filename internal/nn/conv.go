@@ -10,8 +10,11 @@ import (
 
 // Conv2D is a 2-D convolution over CHW-flattened inputs. A batch row of
 // the input tensor is one image of length InC*InH*InW; a batch row of the
-// output is OutC*OutH*OutW. Convolution is lowered to matrix products via
-// im2col (tensor.Im2Col / tensor.Col2Im).
+// output is OutC*OutH*OutW. The whole batch is lowered into ONE
+// (batch·OutH·OutW, InC·K·K) column matrix (tensor.Im2ColBatch), so the
+// forward pass and both backward passes are each a single large matrix
+// product per layer call instead of one small GEMM per image — the shape
+// the blocked kernels are fastest at.
 type Conv2D struct {
 	Geom tensor.ConvGeom
 	OutC int
@@ -20,10 +23,10 @@ type Conv2D struct {
 	W, B   *tensor.Tensor
 	dW, dB *tensor.Tensor
 
-	// Per-sample im2col buffers cached from Forward for Backward.
-	lastCols []*tensor.Tensor
+	// lastCols is the whole-batch im2col buffer cached from Forward for
+	// Backward (arena slot 0 when running with a Scratch).
+	lastCols *tensor.Tensor
 	lastRows int
-	colBuf   *tensor.Tensor // scratch reused across samples in Backward
 }
 
 // NewConv2D returns a convolution layer with He-normal initialization.
@@ -55,30 +58,30 @@ func (c *Conv2D) InLen() int { return c.Geom.InC * c.Geom.InH * c.Geom.InW }
 
 // Forward convolves each batch row. Output rows are CHW-flattened.
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return c.ForwardScratch(nil, 0, x, train)
+}
+
+// ForwardScratch lowers the whole batch with one im2col and one GEMM:
+// res (batch·ohw, OutC) = cols (batch·ohw, patch) · W, then scatters
+// res into the CHW-flattened output layout with the bias added.
+func (c *Conv2D) ForwardScratch(sc *Scratch, id int, x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Cols() != c.InLen() {
 		panic(fmt.Sprintf("nn: Conv2D.Forward input width %d, want %d", x.Cols(), c.InLen()))
 	}
 	batch := x.Rows()
-	oh, ow := c.Geom.OutH(), c.Geom.OutW()
-	ohw := oh * ow
+	ohw := c.Geom.OutH() * c.Geom.OutW()
 	patch := c.Geom.InC * c.Geom.K * c.Geom.K
-	out := tensor.New(batch, c.OutLen())
-	if cap(c.lastCols) < batch {
-		c.lastCols = make([]*tensor.Tensor, batch)
-	}
-	c.lastCols = c.lastCols[:batch]
+	cols := sc.tensor2D(id, 0, batch*ohw, patch)
+	out := sc.tensor2D(id, 1, batch, c.OutLen())
+	res := sc.tensor2D(id, 2, batch*ohw, c.OutC)
+	c.lastCols = cols
 	c.lastRows = batch
-	res := tensor.New(ohw, c.OutC)
+	tensor.Im2ColBatch(c.Geom, x, cols)
+	tensor.MatMulInto(res, cols, c.W)
 	for i := 0; i < batch; i++ {
-		if c.lastCols[i] == nil || c.lastCols[i].Rows() != ohw || c.lastCols[i].Cols() != patch {
-			c.lastCols[i] = tensor.New(ohw, patch)
-		}
-		cols := c.lastCols[i]
-		tensor.Im2Col(c.Geom, x.Row(i), cols)
-		tensor.MatMulInto(res, cols, c.W)
 		outRow := out.Row(i)
 		for p := 0; p < ohw; p++ {
-			rrow := res.Row(p)
+			rrow := res.Row(i*ohw + p)
 			for ch := 0; ch < c.OutC; ch++ {
 				outRow[ch*ohw+p] = rrow[ch] + c.B.Data[ch]
 			}
@@ -90,6 +93,13 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // Backward accumulates kernel/bias gradients and returns the input
 // gradient, CHW-flattened per batch row.
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return c.BackwardScratch(nil, 0, grad)
+}
+
+// BackwardScratch runs both backward matrix products over the whole
+// batch at once: dW += colsᵀ·dRes and dCols = dRes·Wᵀ, with dRes the
+// (batch·ohw, OutC) transposition of the incoming CHW gradient.
+func (c *Conv2D) BackwardScratch(sc *Scratch, id int, grad *tensor.Tensor) *tensor.Tensor {
 	if c.lastRows == 0 {
 		panic("nn: Conv2D.Backward before Forward")
 	}
@@ -97,37 +107,35 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: Conv2D.Backward grad shape %v", grad.Shape))
 	}
 	batch := grad.Rows()
-	oh, ow := c.Geom.OutH(), c.Geom.OutW()
-	ohw := oh * ow
+	ohw := c.Geom.OutH() * c.Geom.OutW()
 	patch := c.Geom.InC * c.Geom.K * c.Geom.K
-	dx := tensor.New(batch, c.InLen())
-	dRes := tensor.New(ohw, c.OutC)
-	dWtmp := tensor.New(patch, c.OutC)
-	if c.colBuf == nil || c.colBuf.Rows() != ohw || c.colBuf.Cols() != patch {
-		c.colBuf = tensor.New(ohw, patch)
-	}
+	dx := sc.tensor2D(id, 3, batch, c.InLen())
+	dRes := sc.tensor2D(id, 4, batch*ohw, c.OutC)
+	dWtmp := sc.tensor2D(id, 5, patch, c.OutC)
+	dCols := sc.tensor2D(id, 6, batch*ohw, patch)
 	for i := 0; i < batch; i++ {
 		gRow := grad.Row(i)
 		for p := 0; p < ohw; p++ {
-			drow := dRes.Row(p)
+			drow := dRes.Row(i*ohw + p)
 			for ch := 0; ch < c.OutC; ch++ {
 				drow[ch] = gRow[ch*ohw+p]
 			}
 		}
-		// dW += colsᵀ · dRes
-		tensor.MatMulATInto(dWtmp, c.lastCols[i], dRes)
-		c.dW.AddInPlace(dWtmp)
-		// dB += Σ_positions dRes
-		for p := 0; p < ohw; p++ {
-			drow := dRes.Row(p)
-			for ch, v := range drow {
-				c.dB.Data[ch] += v
-			}
-		}
-		// dCols = dRes · Wᵀ, then scatter back to the image.
-		tensor.MatMulBTInto(c.colBuf, dRes, c.W)
-		tensor.Col2Im(c.Geom, c.colBuf, dx.Row(i))
 	}
+	// dW += colsᵀ · dRes over the whole batch in one product.
+	tensor.MatMulATInto(dWtmp, c.lastCols, dRes)
+	c.dW.AddInPlace(dWtmp)
+	// dB += Σ_rows dRes (row order matches the old per-sample loop).
+	for p := 0; p < batch*ohw; p++ {
+		drow := dRes.Row(p)
+		for ch, v := range drow {
+			c.dB.Data[ch] += v
+		}
+	}
+	// dCols = dRes · Wᵀ, then scatter every sample back to its image.
+	tensor.MatMulBTInto(dCols, dRes, c.W)
+	dx.Zero()
+	tensor.Col2ImBatch(c.Geom, dCols, dx)
 	return dx
 }
 
@@ -172,12 +180,17 @@ func (m *MaxPool2D) InLen() int { return m.C * m.H * m.W }
 
 // Forward computes channelwise max pooling.
 func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return m.ForwardScratch(nil, 0, x, train)
+}
+
+// ForwardScratch is Forward writing into an arena slot.
+func (m *MaxPool2D) ForwardScratch(sc *Scratch, id int, x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Cols() != m.InLen() {
 		panic(fmt.Sprintf("nn: MaxPool2D.Forward input width %d, want %d", x.Cols(), m.InLen()))
 	}
 	batch := x.Rows()
 	oh, ow := m.OutH(), m.OutW()
-	out := tensor.New(batch, m.OutLen())
+	out := sc.tensor2D(id, 0, batch, m.OutLen())
 	need := batch * m.OutLen()
 	if cap(m.argmax) < need {
 		m.argmax = make([]int, need)
@@ -218,6 +231,11 @@ func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward routes gradients to the argmax positions.
 func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return m.BackwardScratch(nil, 0, grad)
+}
+
+// BackwardScratch is Backward writing into an arena slot.
+func (m *MaxPool2D) BackwardScratch(sc *Scratch, id int, grad *tensor.Tensor) *tensor.Tensor {
 	if m.lastDim == 0 {
 		panic("nn: MaxPool2D.Backward before Forward")
 	}
@@ -225,7 +243,8 @@ func (m *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: MaxPool2D.Backward grad shape %v", grad.Shape))
 	}
 	batch := grad.Rows()
-	dx := tensor.New(batch, m.InLen())
+	dx := sc.tensor2D(id, 1, batch, m.InLen())
+	dx.Zero()
 	for i := 0; i < batch; i++ {
 		g := grad.Row(i)
 		d := dx.Row(i)

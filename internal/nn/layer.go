@@ -72,11 +72,16 @@ func NewDense(r *rng.RNG, in, out int) *Dense {
 
 // Forward computes y = x·W + b for a (batch, In) input.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return d.ForwardScratch(nil, 0, x, train)
+}
+
+// ForwardScratch is Forward writing into an arena slot.
+func (d *Dense) ForwardScratch(sc *Scratch, id int, x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Cols() != d.In {
 		panic(fmt.Sprintf("nn: Dense.Forward input width %d, want %d", x.Cols(), d.In))
 	}
 	d.lastX = x
-	out := tensor.New(x.Rows(), d.Out)
+	out := sc.tensor2D(id, 0, x.Rows(), d.Out)
 	tensor.MatMulInto(out, x, d.W)
 	for i := 0; i < out.Rows(); i++ {
 		row := out.Row(i)
@@ -89,13 +94,18 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward accumulates dW = xᵀ·g, dB = Σ_batch g and returns dx = g·Wᵀ.
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return d.BackwardScratch(nil, 0, grad)
+}
+
+// BackwardScratch is Backward with arena-backed temporaries.
+func (d *Dense) BackwardScratch(sc *Scratch, id int, grad *tensor.Tensor) *tensor.Tensor {
 	if d.lastX == nil {
 		panic("nn: Dense.Backward before Forward")
 	}
 	if grad.Rows() != d.lastX.Rows() || grad.Cols() != d.Out {
 		panic(fmt.Sprintf("nn: Dense.Backward grad shape %v", grad.Shape))
 	}
-	dW := tensor.New(d.In, d.Out)
+	dW := sc.tensor2D(id, 1, d.In, d.Out)
 	tensor.MatMulATInto(dW, d.lastX, grad)
 	d.dW.AddInPlace(dW)
 	for i := 0; i < grad.Rows(); i++ {
@@ -104,7 +114,7 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			d.dB.Data[j] += v
 		}
 	}
-	dx := tensor.New(grad.Rows(), d.In)
+	dx := sc.tensor2D(id, 2, grad.Rows(), d.In)
 	tensor.MatMulBTInto(dx, grad, d.W)
 	return dx
 }
@@ -123,16 +133,22 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward applies max(0, x) elementwise.
 func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
-	if cap(l.mask) < len(out.Data) {
-		l.mask = make([]bool, len(out.Data))
+	return l.ForwardScratch(nil, 0, x, train)
+}
+
+// ForwardScratch is Forward writing into an arena slot.
+func (l *ReLU) ForwardScratch(sc *Scratch, id int, x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := sc.tensor2D(id, 0, x.Rows(), x.Cols())
+	if cap(l.mask) < len(x.Data) {
+		l.mask = make([]bool, len(x.Data))
 	}
-	l.mask = l.mask[:len(out.Data)]
-	for i, v := range out.Data {
+	l.mask = l.mask[:len(x.Data)]
+	for i, v := range x.Data {
 		if v <= 0 {
 			out.Data[i] = 0
 			l.mask[i] = false
 		} else {
+			out.Data[i] = v
 			l.mask[i] = true
 		}
 	}
@@ -141,12 +157,19 @@ func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward zeroes gradients where the input was non-positive.
 func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return l.BackwardScratch(nil, 0, grad)
+}
+
+// BackwardScratch is Backward writing into an arena slot.
+func (l *ReLU) BackwardScratch(sc *Scratch, id int, grad *tensor.Tensor) *tensor.Tensor {
 	if len(l.mask) != len(grad.Data) {
 		panic("nn: ReLU.Backward shape mismatch with Forward")
 	}
-	out := grad.Clone()
-	for i := range out.Data {
-		if !l.mask[i] {
+	out := sc.tensor2D(id, 1, grad.Rows(), grad.Cols())
+	for i, v := range grad.Data {
+		if l.mask[i] {
+			out.Data[i] = v
+		} else {
 			out.Data[i] = 0
 		}
 	}
@@ -177,11 +200,18 @@ func NewLeakyReLU(alpha float64) *LeakyReLU {
 
 // Forward applies x>0 ? x : alpha*x elementwise.
 func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return l.ForwardScratch(nil, 0, x, train)
+}
+
+// ForwardScratch is Forward writing into an arena slot.
+func (l *LeakyReLU) ForwardScratch(sc *Scratch, id int, x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.lastX = x
-	out := x.Clone()
-	for i, v := range out.Data {
+	out := sc.tensor2D(id, 0, x.Rows(), x.Cols())
+	for i, v := range x.Data {
 		if v < 0 {
 			out.Data[i] = l.Alpha * v
+		} else {
+			out.Data[i] = v
 		}
 	}
 	return out
@@ -189,13 +219,20 @@ func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward scales gradients by alpha where the input was negative.
 func (l *LeakyReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return l.BackwardScratch(nil, 0, grad)
+}
+
+// BackwardScratch is Backward writing into an arena slot.
+func (l *LeakyReLU) BackwardScratch(sc *Scratch, id int, grad *tensor.Tensor) *tensor.Tensor {
 	if l.lastX == nil || len(l.lastX.Data) != len(grad.Data) {
 		panic("nn: LeakyReLU.Backward shape mismatch with Forward")
 	}
-	out := grad.Clone()
-	for i := range out.Data {
+	out := sc.tensor2D(id, 1, grad.Rows(), grad.Cols())
+	for i, v := range grad.Data {
 		if l.lastX.Data[i] < 0 {
-			out.Data[i] *= l.Alpha
+			out.Data[i] = v * l.Alpha
+		} else {
+			out.Data[i] = v
 		}
 	}
 	return out
@@ -216,8 +253,13 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward applies tanh elementwise.
 func (l *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	out := x.Clone()
-	for i, v := range out.Data {
+	return l.ForwardScratch(nil, 0, x, train)
+}
+
+// ForwardScratch is Forward writing into an arena slot.
+func (l *Tanh) ForwardScratch(sc *Scratch, id int, x *tensor.Tensor, train bool) *tensor.Tensor {
+	out := sc.tensor2D(id, 0, x.Rows(), x.Cols())
+	for i, v := range x.Data {
 		out.Data[i] = math.Tanh(v)
 	}
 	l.lastY = out
@@ -226,12 +268,17 @@ func (l *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward multiplies by 1 - tanh² of the input.
 func (l *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return l.BackwardScratch(nil, 0, grad)
+}
+
+// BackwardScratch is Backward writing into an arena slot.
+func (l *Tanh) BackwardScratch(sc *Scratch, id int, grad *tensor.Tensor) *tensor.Tensor {
 	if l.lastY == nil || len(l.lastY.Data) != len(grad.Data) {
 		panic("nn: Tanh.Backward shape mismatch with Forward")
 	}
-	out := grad.Clone()
+	out := sc.tensor2D(id, 1, grad.Rows(), grad.Cols())
 	for i, y := range l.lastY.Data {
-		out.Data[i] *= 1 - y*y
+		out.Data[i] = grad.Data[i] * (1 - y*y)
 	}
 	return out
 }

@@ -14,12 +14,29 @@ import (
 // raw logits, and the combined backward is the numerically benign
 // (softmax − onehot) / batch.
 type CrossEntropy struct {
-	probs  *tensor.Tensor
-	labels []int
+	// probs points into probsBuf while backward state is valid; Eval
+	// drops probs but keeps probsBuf's capacity for reuse, so warm
+	// train steps allocate nothing.
+	probs    *tensor.Tensor
+	probsBuf *tensor.Tensor
+	gradBuf  *tensor.Tensor
+	labels   []int
 }
 
 // NewCrossEntropy returns a softmax cross-entropy loss.
 func NewCrossEntropy() *CrossEntropy { return &CrossEntropy{} }
+
+// reuse2D reshapes buf to (rows, cols) reusing its capacity, or
+// allocates a replacement. Contents are unspecified.
+func reuse2D(buf *tensor.Tensor, rows, cols int) *tensor.Tensor {
+	n := rows * cols
+	if buf == nil || cap(buf.Data) < n {
+		return tensor.New(rows, cols)
+	}
+	buf.Data = buf.Data[:n]
+	buf.Shape[0], buf.Shape[1] = rows, cols
+	return buf
+}
 
 // Forward returns the mean cross-entropy of logits (batch, classes)
 // against labels.
@@ -28,7 +45,8 @@ func (l *CrossEntropy) Forward(logits *tensor.Tensor, labels []int) float64 {
 	if len(labels) != batch {
 		panic(fmt.Sprintf("nn: CrossEntropy labels length %d, batch %d", len(labels), batch))
 	}
-	l.probs = tensor.New(batch, classes)
+	l.probsBuf = reuse2D(l.probsBuf, batch, classes)
+	l.probs = l.probsBuf
 	l.labels = labels
 	total := 0.0
 	for i := 0; i < batch; i++ {
@@ -48,13 +66,17 @@ func (l *CrossEntropy) Forward(logits *tensor.Tensor, labels []int) float64 {
 	return total / float64(batch)
 }
 
-// Backward returns dLoss/dLogits for the last Forward call.
+// Backward returns dLoss/dLogits for the last Forward call. The
+// returned tensor is an internal buffer overwritten by the next
+// Backward; callers must not retain it across steps.
 func (l *CrossEntropy) Backward() *tensor.Tensor {
 	if l.probs == nil {
 		panic("nn: CrossEntropy.Backward before Forward")
 	}
 	batch := l.probs.Rows()
-	grad := l.probs.Clone()
+	l.gradBuf = reuse2D(l.gradBuf, batch, l.probs.Cols())
+	grad := l.gradBuf
+	copy(grad.Data, l.probs.Data)
 	inv := 1.0 / float64(batch)
 	for i := 0; i < batch; i++ {
 		row := grad.Row(i)
@@ -87,7 +109,8 @@ func (l *CrossEntropy) Eval(logits *tensor.Tensor, labels []int) (loss float64, 
 // MSE is the mean squared error loss used to train the DRL value network
 // (Algorithm 1 line 6).
 type MSE struct {
-	diff *tensor.Tensor
+	diff    *tensor.Tensor
+	gradBuf *tensor.Tensor
 }
 
 // NewMSE returns a mean-squared-error loss.
@@ -103,7 +126,7 @@ func (l *MSE) Forward(pred *tensor.Tensor, targets []float64) float64 {
 	if len(targets) != batch {
 		panic(fmt.Sprintf("nn: MSE targets length %d, batch %d", len(targets), batch))
 	}
-	l.diff = tensor.New(batch, 1)
+	l.diff = reuse2D(l.diff, batch, 1)
 	total := 0.0
 	for i := 0; i < batch; i++ {
 		d := pred.At(i, 0) - targets[i]
@@ -113,12 +136,15 @@ func (l *MSE) Forward(pred *tensor.Tensor, targets []float64) float64 {
 	return total / float64(batch)
 }
 
-// Backward returns dLoss/dPred = 2(pred − target)/batch.
+// Backward returns dLoss/dPred = 2(pred − target)/batch. The returned
+// tensor is an internal buffer overwritten by the next Backward.
 func (l *MSE) Backward() *tensor.Tensor {
 	if l.diff == nil {
 		panic("nn: MSE.Backward before Forward")
 	}
-	grad := l.diff.Clone()
+	l.gradBuf = reuse2D(l.gradBuf, l.diff.Rows(), 1)
+	grad := l.gradBuf
+	copy(grad.Data, l.diff.Data)
 	grad.ScaleInPlace(2.0 / float64(grad.Rows()))
 	return grad
 }

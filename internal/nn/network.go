@@ -12,6 +12,12 @@ import (
 // of the paper) and the DRL agent's soft target updates blend them.
 type Network struct {
 	layers []Layer
+
+	// params/grads are cached on first access: layers never change their
+	// parameter tensors after construction, and per-step callers
+	// (ZeroGrads, optimizer steps) must not allocate.
+	params []*tensor.Tensor
+	grads  []*tensor.Tensor
 }
 
 // NewNetwork builds a sequential network from the given layers.
@@ -27,36 +33,34 @@ func (n *Network) Layers() []Layer { return n.layers }
 
 // Forward runs all layers in order.
 func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	for _, l := range n.layers {
-		x = l.Forward(x, train)
-	}
-	return x
+	return n.ForwardScratch(nil, x, train)
 }
 
 // Backward runs all layers in reverse, returning the input gradient.
 func (n *Network) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	for i := len(n.layers) - 1; i >= 0; i-- {
-		grad = n.layers[i].Backward(grad)
-	}
-	return grad
+	return n.BackwardScratch(nil, grad)
 }
 
-// Params returns all parameter tensors in layer order.
+// Params returns all parameter tensors in layer order. The slice is
+// cached and shared; callers must not modify it.
 func (n *Network) Params() []*tensor.Tensor {
-	var out []*tensor.Tensor
-	for _, l := range n.layers {
-		out = append(out, l.Params()...)
+	if n.params == nil {
+		for _, l := range n.layers {
+			n.params = append(n.params, l.Params()...)
+		}
 	}
-	return out
+	return n.params
 }
 
-// Grads returns all gradient tensors, aligned with Params.
+// Grads returns all gradient tensors, aligned with Params. The slice is
+// cached and shared; callers must not modify it.
 func (n *Network) Grads() []*tensor.Tensor {
-	var out []*tensor.Tensor
-	for _, l := range n.layers {
-		out = append(out, l.Grads()...)
+	if n.grads == nil {
+		for _, l := range n.layers {
+			n.grads = append(n.grads, l.Grads()...)
+		}
 	}
-	return out
+	return n.grads
 }
 
 // ZeroGrads clears all accumulated gradients.

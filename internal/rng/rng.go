@@ -255,11 +255,19 @@ func (r *RNG) Shuffle(n int, swap func(i, j int)) {
 // Perm returns a random permutation of [0, n).
 func (r *RNG) Perm(n int) []int {
 	p := make([]int, n)
+	r.PermInto(p)
+	return p
+}
+
+// PermInto fills p with a random permutation of [0, len(p)). It
+// consumes exactly the same random stream as Perm, so the two are
+// interchangeable without perturbing downstream draws; callers use it
+// to avoid the per-call allocation on hot paths.
+func (r *RNG) PermInto(p []int) {
 	for i := range p {
 		p[i] = i
 	}
-	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
-	return p
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
 }
 
 // Choose returns k distinct indices drawn uniformly from [0, n) in random

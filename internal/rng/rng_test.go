@@ -334,6 +334,26 @@ func TestExpMean(t *testing.T) {
 	}
 }
 
+func TestPermIntoMatchesPerm(t *testing.T) {
+	// PermInto must consume the random stream exactly like Perm so the
+	// two are interchangeable on hot paths without perturbing results.
+	for _, n := range []int{0, 1, 2, 7, 64} {
+		a, b := New(uint64(n)+11), New(uint64(n)+11)
+		want := a.Perm(n)
+		got := make([]int, n)
+		b.PermInto(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: PermInto[%d]=%d, Perm[%d]=%d", n, i, got[i], i, want[i])
+			}
+		}
+		// Downstream draws must agree too.
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("n=%d: stream diverged after permutation", n)
+		}
+	}
+}
+
 func BenchmarkUint64(b *testing.B) {
 	r := New(1)
 	for i := 0; i < b.N; i++ {

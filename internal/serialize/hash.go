@@ -25,7 +25,12 @@ import (
 // record fields, dataset synthesis changes, training-loop changes that
 // alter cell output); every stale record then reads as a miss instead
 // of silently serving wrong numbers.
-const CacheSchema = 1
+//
+// v2: batched Conv2D lowering — the kernel gradient is now accumulated
+// by one whole-batch colsᵀ·dRes product instead of per-sample partial
+// sums, which regroups the floating-point additions and shifts cell
+// outputs by rounding-level amounts.
+const CacheSchema = 2
 
 // cacheSchemaKey is the metadata key carrying a record's schema version.
 const cacheSchemaKey = "cache-schema"

@@ -1,0 +1,405 @@
+package tensor
+
+// Blocked GEMM kernels. All three matrix-product variants (A·B, Aᵀ·B,
+// A·Bᵀ) funnel into one cache-blocked, register-tiled kernel:
+//
+//   - The reduction dimension is split into kcBlock panels. For each
+//     panel, B's rows are packed into nrTile-wide column tiles and A's
+//     rows into mrTile-tall row tiles, so the innermost loops stream
+//     contiguous memory regardless of the variant's transpose.
+//   - Each mrTile×nrTile output tile is computed by a micro-kernel that
+//     keeps the whole tile in local accumulators across the panel:
+//     mrTile·nrTile multiply-adds per mrTile+nrTile loads, versus the
+//     naive kernel's one load+store of the output element per term.
+//
+// Determinism contract: every output element accumulates its reduction
+// terms in ascending k order into a single accumulator chain — k panels
+// are visited in ascending order and the micro-kernel walks a panel in
+// ascending k — which is exactly the naive triple loop's order. The
+// store/reload of the output tile between panels is exact, so blocked
+// results are bit-identical to the naive kernels (test-enforced across
+// tile-straddling shapes, and gated in scripts/verify.sh).
+//
+// Parallelism: output rows are cut into fixed stripeRows stripes and
+// fanned out on the installed Parallel hook (SetParallel). Stripe
+// geometry never depends on the worker count and every element is
+// produced by exactly one stripe, so results are bit-identical at any
+// pool width, including no pool at all.
+
+const (
+	// mrTile × nrTile is the register tile: 16 accumulators plus the 8
+	// packed operands of one reduction step.
+	mrTile = 4
+	nrTile = 4
+	// kcBlock is the reduction-panel length; one packed B tile column
+	// (kcBlock·nrTile floats) stays L1-resident while A tiles stream by.
+	kcBlock = 256
+	// mcBlock rows of A are packed per inner block (mcBlock·kcBlock
+	// floats ≈ 128 KiB, sized for L2). Must be a multiple of mrTile.
+	mcBlock = 64
+
+	// blockedMinVolume is the m·k·n product below which packing overhead
+	// outweighs register tiling and the naive loops win (the DRL policy
+	// and value nets live entirely below it).
+	blockedMinVolume = 1 << 14
+	// parallelMinVolume is the volume below which stripe fan-out is not
+	// worth the scheduling round trip.
+	parallelMinVolume = 1 << 17
+	// stripeRows is the fixed per-task row stripe of the parallel path.
+	stripeRows = 128
+)
+
+// KernelBackend reports which full-tile micro-kernel implementation is
+// active: "avx" (vector, amd64 with OS-enabled AVX) or "generic" (pure
+// Go). Both are bit-identical; only throughput differs. Benchmarks
+// record it so perf expectations can be keyed to the backend.
+func KernelBackend() string {
+	if useAVX {
+		return "avx"
+	}
+	return "generic"
+}
+
+// gemmVariant selects which operand is logically transposed.
+type gemmVariant int
+
+const (
+	gemmNN gemmVariant = iota // dst = a·b
+	gemmAT                    // dst = aᵀ·b
+	gemmBT                    // dst = a·bᵀ
+)
+
+// gemmDims returns the logical (M, K, N) of dst = op(a)·op(b).
+func gemmDims(a, b *Tensor, v gemmVariant) (m, k, n int) {
+	switch v {
+	case gemmAT:
+		return a.Cols(), a.Rows(), b.Cols()
+	case gemmBT:
+		return a.Rows(), a.Cols(), b.Rows()
+	default:
+		return a.Rows(), a.Cols(), b.Cols()
+	}
+}
+
+// gemmInto is the shared entry point behind MatMulInto / MatMulATInto /
+// MatMulBTInto: dispatch small products to the naive loops, large ones
+// to the blocked kernel, and fan row stripes out on the pool hook when
+// one is installed. All paths are bit-identical by construction.
+func gemmInto(dst, a, b *Tensor, v gemmVariant) {
+	m, k, n := gemmDims(a, b, v)
+	if m*k*n < blockedMinVolume {
+		gemmNaive(dst, a, b, v)
+		return
+	}
+	stripes := (m + stripeRows - 1) / stripeRows
+	pl := currentParallel()
+	if pl == nil || pl.Workers() <= 1 || stripes < 2 || m*k*n < parallelMinVolume {
+		kc := k
+		if kc > kcBlock {
+			kc = kcBlock
+		}
+		ap := getBuf(apSize(m, kc))
+		bp := getBuf(bpSize(n, kc))
+		gemmBlockedRange(dst, a, b, v, 0, m, ap, bp)
+		putBuf(bp)
+		putBuf(ap)
+		return
+	}
+	lanes := pl.Workers()
+	if lanes > stripes {
+		lanes = stripes
+	}
+	kc := k
+	if kc > kcBlock {
+		kc = kcBlock
+	}
+	aps := make([][]float64, lanes)
+	bps := make([][]float64, lanes)
+	for w := range aps {
+		aps[w] = getBuf(apSize(stripeRows, kc))
+		bps[w] = getBuf(bpSize(n, kc))
+	}
+	pl.ForWorker(stripes, func(w, s int) {
+		rs := s * stripeRows
+		re := rs + stripeRows
+		if re > m {
+			re = m
+		}
+		gemmBlockedRange(dst, a, b, v, rs, re, aps[w], bps[w])
+	})
+	for w := range aps {
+		putBuf(bps[w])
+		putBuf(aps[w])
+	}
+}
+
+// apSize returns the packed-A buffer length for a row range of rows and
+// panel length kc.
+func apSize(rows, kc int) int {
+	if rows > mcBlock {
+		rows = mcBlock
+	}
+	tiles := (rows + mrTile - 1) / mrTile
+	return tiles * mrTile * kc
+}
+
+// bpSize returns the packed-B buffer length for n columns and panel
+// length kc.
+func bpSize(n, kc int) int {
+	tiles := (n + nrTile - 1) / nrTile
+	return tiles * nrTile * kc
+}
+
+// gemmNaive computes the variant with plain triple loops — the reference
+// the blocked kernel must match bit for bit, and the fast path for the
+// small matrices of the DRL nets. Every output element accumulates its
+// terms in ascending reduction order with no zero-skip branches.
+func gemmNaive(dst, a, b *Tensor, v gemmVariant) {
+	ad, bd, dd := a.Data, b.Data, dst.Data
+	switch v {
+	case gemmNN:
+		m, k, n := a.Rows(), a.Cols(), b.Cols()
+		for i := 0; i < m; i++ {
+			di := dd[i*n : (i+1)*n]
+			for x := range di {
+				di[x] = 0
+			}
+			ai := ad[i*k : (i+1)*k]
+			for p, av := range ai {
+				bp := bd[p*n : (p+1)*n]
+				for j, bv := range bp {
+					di[j] += av * bv
+				}
+			}
+		}
+	case gemmAT:
+		m, k := a.Rows(), a.Cols()
+		n := b.Cols()
+		dst.Zero()
+		for i := 0; i < m; i++ {
+			ai := ad[i*k : (i+1)*k]
+			bi := bd[i*n : (i+1)*n]
+			for p, av := range ai {
+				dp := dd[p*n : (p+1)*n]
+				for j, bv := range bi {
+					dp[j] += av * bv
+				}
+			}
+		}
+	case gemmBT:
+		m, k, n := a.Rows(), a.Cols(), b.Rows()
+		for i := 0; i < m; i++ {
+			ai := ad[i*k : (i+1)*k]
+			di := dd[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := bd[j*k : (j+1)*k]
+				sum := 0.0
+				for p, av := range ai {
+					sum += av * bj[p]
+				}
+				di[j] = sum
+			}
+		}
+	}
+}
+
+// gemmBlockedRange runs the blocked kernel over output rows [rs, re).
+// ap and bp are packing scratch sized by apSize/bpSize.
+func gemmBlockedRange(dst, a, b *Tensor, v gemmVariant, rs, re int, ap, bp []float64) {
+	_, k, n := gemmDims(a, b, v)
+	dd := dst.Data
+	nTiles := (n + nrTile - 1) / nrTile
+	for p0 := 0; p0 < k; p0 += kcBlock {
+		kc := k - p0
+		if kc > kcBlock {
+			kc = kcBlock
+		}
+		packB(bp, b, a, v, p0, kc, n)
+		first := p0 == 0
+		for i0 := rs; i0 < re; i0 += mcBlock {
+			ib := re - i0
+			if ib > mcBlock {
+				ib = mcBlock
+			}
+			packA(ap, a, b, v, i0, ib, p0, kc)
+			mTiles := (ib + mrTile - 1) / mrTile
+			for it := 0; it < mTiles; it++ {
+				mv := ib - it*mrTile
+				if mv > mrTile {
+					mv = mrTile
+				}
+				apTile := ap[it*kc*mrTile:]
+				row0 := i0 + it*mrTile
+				for jt := 0; jt < nTiles; jt++ {
+					nv := n - jt*nrTile
+					if nv > nrTile {
+						nv = nrTile
+					}
+					bpTile := bp[jt*kc*nrTile:]
+					c := dd[row0*n+jt*nrTile:]
+					if mv == mrTile && nv == nrTile {
+						if useAVX {
+							micro4x4avx(kc, &apTile[0], &bpTile[0], &c[0], n, first)
+						} else {
+							micro4x4(kc, apTile, bpTile, c, n, first)
+						}
+					} else {
+						microEdge(kc, apTile, bpTile, c, n, mv, nv, first)
+					}
+				}
+			}
+		}
+	}
+}
+
+// packB packs the reduction panel [p0, p0+kc) of op(b) into nrTile-wide
+// column tiles: bp[tile*kc*nrTile + p*nrTile + c] = op(b)[p0+p][tile*nrTile+c].
+// Slots of a partial edge tile are left unwritten; only microEdge reads
+// that tile and it stays within the valid columns.
+func packB(bp []float64, b, a *Tensor, v gemmVariant, p0, kc, n int) {
+	bd := b.Data
+	switch v {
+	case gemmBT:
+		// op(b)[p][j] = b[j][p]; b is n×k, rows contiguous in p.
+		kPhys := b.Cols()
+		for jt := 0; jt*nrTile < n; jt++ {
+			off := jt * kc * nrTile
+			nv := n - jt*nrTile
+			if nv > nrTile {
+				nv = nrTile
+			}
+			for c := 0; c < nv; c++ {
+				src := bd[(jt*nrTile+c)*kPhys+p0:]
+				for p := 0; p < kc; p++ {
+					bp[off+p*nrTile+c] = src[p]
+				}
+			}
+		}
+	default:
+		// op(b)[p][j] = b[p][j] for both NN and AT.
+		for jt := 0; jt*nrTile < n; jt++ {
+			off := jt * kc * nrTile
+			j0 := jt * nrTile
+			nv := n - j0
+			if nv > nrTile {
+				nv = nrTile
+			}
+			for p := 0; p < kc; p++ {
+				copy(bp[off+p*nrTile:off+p*nrTile+nv], bd[(p0+p)*n+j0:])
+			}
+		}
+	}
+}
+
+// packA packs rows [i0, i0+ib) of op(a) over the reduction panel
+// [p0, p0+kc) into mrTile-tall row tiles:
+// ap[tile*kc*mrTile + p*mrTile + r] = op(a)[tile*mrTile+r][p0+p].
+func packA(ap []float64, a, b *Tensor, v gemmVariant, i0, ib, p0, kc int) {
+	ad := a.Data
+	switch v {
+	case gemmAT:
+		// op(a)[i][p] = a[p][i]; a is k×m, rows contiguous in i.
+		mPhys := a.Cols()
+		for it := 0; it*mrTile < ib; it++ {
+			off := it * kc * mrTile
+			mv := ib - it*mrTile
+			if mv > mrTile {
+				mv = mrTile
+			}
+			base := i0 + it*mrTile
+			for p := 0; p < kc; p++ {
+				src := ad[(p0+p)*mPhys+base:]
+				dstRow := ap[off+p*mrTile:]
+				for r := 0; r < mv; r++ {
+					dstRow[r] = src[r]
+				}
+			}
+		}
+	default:
+		// op(a)[i][p] = a[i][p] for both NN and BT.
+		kPhys := a.Cols()
+		for it := 0; it*mrTile < ib; it++ {
+			off := it * kc * mrTile
+			mv := ib - it*mrTile
+			if mv > mrTile {
+				mv = mrTile
+			}
+			for r := 0; r < mv; r++ {
+				src := ad[(i0+it*mrTile+r)*kPhys+p0:]
+				for p := 0; p < kc; p++ {
+					ap[off+p*mrTile+r] = src[p]
+				}
+			}
+		}
+	}
+}
+
+// micro4x4 computes one full 4×4 output tile over a kc-long packed
+// panel. c points at the tile's top-left element of the row-major
+// output with leading dimension ldc. first selects overwrite (panel 0)
+// versus accumulate-on-top (later panels).
+func micro4x4(kc int, ap, bp, c []float64, ldc int, first bool) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	r1, r2, r3 := c[ldc:], c[2*ldc:], c[3*ldc:]
+	if !first {
+		c00, c01, c02, c03 = c[0], c[1], c[2], c[3]
+		c10, c11, c12, c13 = r1[0], r1[1], r1[2], r1[3]
+		c20, c21, c22, c23 = r2[0], r2[1], r2[2], r2[3]
+		c30, c31, c32, c33 = r3[0], r3[1], r3[2], r3[3]
+	}
+	ap = ap[: kc*4 : kc*4]
+	bp = bp[: kc*4 : kc*4]
+	for p := 0; p < kc; p++ {
+		a0, a1, a2, a3 := ap[p*4], ap[p*4+1], ap[p*4+2], ap[p*4+3]
+		b0, b1, b2, b3 := bp[p*4], bp[p*4+1], bp[p*4+2], bp[p*4+3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c02 += a0 * b2
+		c03 += a0 * b3
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c12 += a1 * b2
+		c13 += a1 * b3
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c22 += a2 * b2
+		c23 += a2 * b3
+		c30 += a3 * b0
+		c31 += a3 * b1
+		c32 += a3 * b2
+		c33 += a3 * b3
+	}
+	c[0], c[1], c[2], c[3] = c00, c01, c02, c03
+	r1[0], r1[1], r1[2], r1[3] = c10, c11, c12, c13
+	r2[0], r2[1], r2[2], r2[3] = c20, c21, c22, c23
+	r3[0], r3[1], r3[2], r3[3] = c30, c31, c32, c33
+}
+
+// microEdge computes a partial tile of mv×nv valid elements (tile
+// strides in the packed panels stay mrTile/nrTile).
+func microEdge(kc int, ap, bp, c []float64, ldc, mv, nv int, first bool) {
+	var acc [mrTile][nrTile]float64
+	if !first {
+		for r := 0; r < mv; r++ {
+			for j := 0; j < nv; j++ {
+				acc[r][j] = c[r*ldc+j]
+			}
+		}
+	}
+	for p := 0; p < kc; p++ {
+		for r := 0; r < mv; r++ {
+			av := ap[p*mrTile+r]
+			for j := 0; j < nv; j++ {
+				acc[r][j] += av * bp[p*nrTile+j]
+			}
+		}
+	}
+	for r := 0; r < mv; r++ {
+		for j := 0; j < nv; j++ {
+			c[r*ldc+j] = acc[r][j]
+		}
+	}
+}

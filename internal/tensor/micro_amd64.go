@@ -1,0 +1,17 @@
+//go:build amd64
+
+package tensor
+
+// cpuHasAVX reports whether the CPU and OS support AVX (CPUID feature
+// bit plus XGETBV state check). Implemented in micro_amd64.s.
+func cpuHasAVX() bool
+
+// micro4x4avx is the AVX implementation of the full-tile micro-kernel.
+// It is bit-identical to micro4x4: each lane multiplies then adds with
+// one rounding per operation, never fusing. Implemented in
+// micro_amd64.s.
+func micro4x4avx(kc int, ap, bp, c *float64, ldc int, first bool)
+
+// useAVX gates the vector micro-kernel; tests flip it to cover the
+// pure-Go fallback on AVX hosts.
+var useAVX = cpuHasAVX()

@@ -1,0 +1,85 @@
+// AVX micro-kernel for the blocked GEMM (see blocked.go). The kernel
+// computes one full 4x4 output tile over a packed kc-long panel using
+// VMULPD + VADDPD per lane — multiply-round-then-add-round, exactly the
+// scalar semantics of the pure-Go kernels, so the vector path is
+// bit-identical to them (no FMA: a fused multiply-add rounds once and
+// would break the bit-identity contract).
+
+#include "textflag.h"
+
+// func cpuHasAVX() bool
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL	$1, AX
+	XORL	CX, CX
+	CPUID
+	// Need OSXSAVE (ECX bit 27) and AVX (ECX bit 28).
+	MOVL	CX, BX
+	ANDL	$(1<<27 | 1<<28), BX
+	CMPL	BX, $(1<<27 | 1<<28)
+	JNE	noavx
+	// XCR0 bits 1 and 2: OS preserves XMM and YMM state.
+	XORL	CX, CX
+	XGETBV
+	ANDL	$6, AX
+	CMPL	AX, $6
+	JNE	noavx
+	MOVB	$1, ret+0(FP)
+	RET
+noavx:
+	MOVB	$0, ret+0(FP)
+	RET
+
+// func micro4x4avx(kc int, ap, bp, c *float64, ldc int, first bool)
+//
+// Y0..Y3 hold the four output rows (4 doubles each) for the whole
+// panel; each k step broadcasts the four packed A values and issues one
+// mul+add pair per row against the packed B vector. first selects
+// zero-init (panel 0) versus accumulate-on-top of C.
+TEXT ·micro4x4avx(SB), NOSPLIT, $0-41
+	MOVQ	kc+0(FP), CX
+	MOVQ	ap+8(FP), SI
+	MOVQ	bp+16(FP), DI
+	MOVQ	c+24(FP), DX
+	MOVQ	ldc+32(FP), R8
+	SHLQ	$3, R8              // ldc in bytes
+	LEAQ	(DX)(R8*2), R9      // &c[2*ldc]
+	MOVBLZX	first+40(FP), AX
+	TESTB	AL, AL
+	JZ	load
+	VXORPD	Y0, Y0, Y0
+	VXORPD	Y1, Y1, Y1
+	VXORPD	Y2, Y2, Y2
+	VXORPD	Y3, Y3, Y3
+	JMP	kloop
+load:
+	VMOVUPD	(DX), Y0
+	VMOVUPD	(DX)(R8*1), Y1
+	VMOVUPD	(R9), Y2
+	VMOVUPD	(R9)(R8*1), Y3
+kloop:
+	TESTQ	CX, CX
+	JZ	done
+	VMOVUPD	(DI), Y4
+	VBROADCASTSD	(SI), Y5
+	VBROADCASTSD	8(SI), Y6
+	VBROADCASTSD	16(SI), Y7
+	VBROADCASTSD	24(SI), Y8
+	VMULPD	Y4, Y5, Y5
+	VADDPD	Y5, Y0, Y0
+	VMULPD	Y4, Y6, Y6
+	VADDPD	Y6, Y1, Y1
+	VMULPD	Y4, Y7, Y7
+	VADDPD	Y7, Y2, Y2
+	VMULPD	Y4, Y8, Y8
+	VADDPD	Y8, Y3, Y3
+	ADDQ	$32, SI
+	ADDQ	$32, DI
+	DECQ	CX
+	JMP	kloop
+done:
+	VMOVUPD	Y0, (DX)
+	VMOVUPD	Y1, (DX)(R8*1)
+	VMOVUPD	Y2, (R9)
+	VMOVUPD	Y3, (R9)(R8*1)
+	VZEROUPPER
+	RET

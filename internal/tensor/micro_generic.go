@@ -1,0 +1,11 @@
+//go:build !amd64
+
+package tensor
+
+// useAVX is always false off amd64; the pure-Go micro-kernel runs.
+var useAVX = false
+
+// micro4x4avx is never called when useAVX is false.
+func micro4x4avx(kc int, ap, bp, c *float64, ldc int, first bool) {
+	panic("tensor: AVX micro-kernel called on non-amd64")
+}

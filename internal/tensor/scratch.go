@@ -1,0 +1,54 @@
+package tensor
+
+import "sync"
+
+// The kernel scratch pool recycles the packing buffers of the blocked
+// GEMM kernels so steady-state training performs no heap allocations:
+// a warm train step requests the same buffer sizes in the same order
+// every iteration, so after the first step every getBuf is a hit.
+//
+// The pool is a bounded LIFO: put pushes, get pops the most recent
+// buffer large enough for the request. LIFO keeps the match stable for
+// cyclic workloads (the same sequence of get/put sizes reuses the same
+// buffers each cycle) and keeps recently touched memory cache-warm.
+var kernelBufs struct {
+	sync.Mutex
+	bufs [][]float64
+}
+
+// kernelBufsCap bounds how many idle buffers the pool retains; beyond
+// it, returned buffers are dropped for the GC. Deep nesting uses at most
+// a few buffers per concurrent GEMM, so the bound is generous.
+const kernelBufsCap = 64
+
+// getBuf returns a length-n scratch slice, reusing pooled capacity when
+// available. Contents are unspecified; callers must overwrite before
+// reading.
+func getBuf(n int) []float64 {
+	kernelBufs.Lock()
+	for i := len(kernelBufs.bufs) - 1; i >= 0; i-- {
+		if cap(kernelBufs.bufs[i]) >= n {
+			b := kernelBufs.bufs[i]
+			last := len(kernelBufs.bufs) - 1
+			kernelBufs.bufs[i] = kernelBufs.bufs[last]
+			kernelBufs.bufs[last] = nil
+			kernelBufs.bufs = kernelBufs.bufs[:last]
+			kernelBufs.Unlock()
+			return b[:n]
+		}
+	}
+	kernelBufs.Unlock()
+	return make([]float64, n)
+}
+
+// putBuf returns a buffer to the pool for reuse.
+func putBuf(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	kernelBufs.Lock()
+	if len(kernelBufs.bufs) < kernelBufsCap {
+		kernelBufs.bufs = append(kernelBufs.bufs, b[:0])
+	}
+	kernelBufs.Unlock()
+}

@@ -1,19 +1,22 @@
 // Package tensor implements the dense float64 tensors used as the data
 // substrate of the neural-network library. Only the operations needed by
 // the FedDRL reproduction are provided: construction and shape queries,
-// element access, matrix multiplication (with a goroutine-parallel path
-// for large batches), transpose, and the im2col/col2im lowering used by
-// the convolution layers.
+// element access, matrix multiplication, transpose, and the
+// im2col/col2im lowering used by the convolution layers.
+//
+// The matrix-product kernels are cache-blocked and register-tiled (see
+// blocked.go) with reusable packing scratch, so steady-state training
+// allocates nothing, and they optionally fan out over the execution
+// pool installed via SetParallel — never over raw goroutines — so
+// kernel parallelism composes with the work-stealing scheduler instead
+// of oversubscribing it. Blocked, naive, sequential and parallel paths
+// are all bit-identical by construction.
 //
 // Tensors are row-major. A 2-D tensor of shape (r, c) stores element
 // (i, j) at Data[i*c+j]. Batched activations are 2-D: (batch, features).
 package tensor
 
-import (
-	"fmt"
-	"runtime"
-	"sync"
-)
+import "fmt"
 
 // Tensor is a dense, row-major float64 tensor.
 type Tensor struct {
@@ -141,12 +144,6 @@ func (t *Tensor) AxpyInPlace(alpha float64, o *Tensor) {
 	}
 }
 
-// parallelRowThreshold is the matrix volume (rows*inner*cols) above which
-// MatMulInto fans work out across GOMAXPROCS goroutines. Chosen so that
-// the tiny matrices of the DRL policy/value nets stay single-threaded
-// (goroutine overhead dominates below ~64k multiply-adds).
-const parallelVolumeThreshold = 1 << 16
-
 // MatMul returns a·b for 2-D tensors a (m×k) and b (k×n).
 func MatMul(a, b *Tensor) *Tensor {
 	out := New(a.Rows(), b.Cols())
@@ -167,44 +164,26 @@ func MatMulInto(dst, a, b *Tensor) {
 	if dst == a || dst == b {
 		panic("tensor: MatMulInto dst aliases an input")
 	}
-	work := func(r0, r1 int) {
-		ad, bd, dd := a.Data, b.Data, dst.Data
-		for i := r0; i < r1; i++ {
-			di := dd[i*n : (i+1)*n]
-			for x := range di {
-				di[x] = 0
-			}
-			ai := ad[i*ka : (i+1)*ka]
-			for k, av := range ai {
-				if av == 0 {
-					continue
-				}
-				bk := bd[k*n : (k+1)*n]
-				for j, bv := range bk {
-					di[j] += av * bv
-				}
-			}
-		}
+	gemmInto(dst, a, b, gemmNN)
+}
+
+// MatMulNaiveInto computes dst ← a·b with the unblocked reference
+// triple loop — the kernel the blocked path is bit-identical to. It
+// exists for benchmarks and the verify gate; production callers use
+// MatMulInto, which dispatches to the fastest identical path.
+func MatMulNaiveInto(dst, a, b *Tensor) {
+	m, ka := a.Rows(), a.Cols()
+	kb, n := b.Rows(), b.Cols()
+	if ka != kb {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %d vs %d", ka, kb))
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers <= 1 || m*ka*n < parallelVolumeThreshold || m < 2*workers {
-		work(0, m)
-		return
+	if dst.Rows() != m || dst.Cols() != n {
+		panic(fmt.Sprintf("tensor: MatMulNaiveInto dst shape %v, want (%d,%d)", dst.Shape, m, n))
 	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for r0 := 0; r0 < m; r0 += chunk {
-		r1 := r0 + chunk
-		if r1 > m {
-			r1 = m
-		}
-		wg.Add(1)
-		go func(r0, r1 int) {
-			defer wg.Done()
-			work(r0, r1)
-		}(r0, r1)
+	if dst == a || dst == b {
+		panic("tensor: MatMulNaiveInto dst aliases an input")
 	}
-	wg.Wait()
+	gemmNaive(dst, a, b, gemmNN)
 }
 
 // MatMulATInto computes dst ← aᵀ·b for a (m×k), b (m×n), dst (k×n).
@@ -218,21 +197,10 @@ func MatMulATInto(dst, a, b *Tensor) {
 	if dst.Rows() != k || dst.Cols() != n {
 		panic(fmt.Sprintf("tensor: MatMulATInto dst shape %v, want (%d,%d)", dst.Shape, k, n))
 	}
-	dst.Zero()
-	ad, bd, dd := a.Data, b.Data, dst.Data
-	for i := 0; i < m; i++ {
-		ai := ad[i*k : (i+1)*k]
-		bi := bd[i*n : (i+1)*n]
-		for p, av := range ai {
-			if av == 0 {
-				continue
-			}
-			dp := dd[p*n : (p+1)*n]
-			for j, bv := range bi {
-				dp[j] += av * bv
-			}
-		}
+	if dst == a || dst == b {
+		panic("tensor: MatMulATInto dst aliases an input")
 	}
+	gemmInto(dst, a, b, gemmAT)
 }
 
 // MatMulBTInto computes dst ← a·bᵀ for a (m×k), b (n×k), dst (m×n).
@@ -246,19 +214,10 @@ func MatMulBTInto(dst, a, b *Tensor) {
 	if dst.Rows() != m || dst.Cols() != n {
 		panic(fmt.Sprintf("tensor: MatMulBTInto dst shape %v, want (%d,%d)", dst.Shape, m, n))
 	}
-	ad, bd, dd := a.Data, b.Data, dst.Data
-	for i := 0; i < m; i++ {
-		ai := ad[i*k : (i+1)*k]
-		di := dd[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			bj := bd[j*k : (j+1)*k]
-			sum := 0.0
-			for p, av := range ai {
-				sum += av * bj[p]
-			}
-			di[j] = sum
-		}
+	if dst == a || dst == b {
+		panic("tensor: MatMulBTInto dst aliases an input")
 	}
+	gemmInto(dst, a, b, gemmBT)
 }
 
 // Transpose returns the transpose of a 2-D tensor.
@@ -313,7 +272,34 @@ func Im2Col(g ConvGeom, img []float64, cols *Tensor) {
 	if cols.Rows() != oh*ow || cols.Cols() != patch {
 		panic(fmt.Sprintf("tensor: Im2Col cols shape %v, want (%d,%d)", cols.Shape, oh*ow, patch))
 	}
-	cd := cols.Data
+	im2colCore(g, img, cols.Data)
+}
+
+// Im2ColBatch lowers every row of x (batch, InC*InH*InW) into one column
+// matrix of shape (batch·OutH·OutW, InC*K*K) — sample i occupies the row
+// block [i·OutH·OutW, (i+1)·OutH·OutW). One whole-batch buffer turns a
+// convolution layer call into a single matrix product instead of one
+// small GEMM per image.
+func Im2ColBatch(g ConvGeom, x, cols *Tensor) {
+	g.Validate()
+	if x.Cols() != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Im2ColBatch input width %d, want %d", x.Cols(), g.InC*g.InH*g.InW))
+	}
+	batch := x.Rows()
+	ohw := g.OutH() * g.OutW()
+	patch := g.InC * g.K * g.K
+	if cols.Rows() != batch*ohw || cols.Cols() != patch {
+		panic(fmt.Sprintf("tensor: Im2ColBatch cols shape %v, want (%d,%d)", cols.Shape, batch*ohw, patch))
+	}
+	block := ohw * patch
+	for i := 0; i < batch; i++ {
+		im2colCore(g, x.Row(i), cols.Data[i*block:(i+1)*block])
+	}
+}
+
+// im2colCore fills cd (length OutH·OutW·InC·K·K) from one image.
+func im2colCore(g ConvGeom, img []float64, cd []float64) {
+	oh, ow := g.OutH(), g.OutW()
 	idx := 0
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {
@@ -350,7 +336,33 @@ func Col2Im(g ConvGeom, cols *Tensor, img []float64) {
 	if cols.Rows() != oh*ow || cols.Cols() != patch {
 		panic(fmt.Sprintf("tensor: Col2Im cols shape %v, want (%d,%d)", cols.Shape, oh*ow, patch))
 	}
-	cd := cols.Data
+	col2imCore(g, cols.Data, img)
+}
+
+// Col2ImBatch accumulates a whole-batch column-matrix gradient (the
+// Im2ColBatch layout) into per-sample image gradients: row i of imgs
+// receives the adjoint of sample i's row block. imgs is accumulated
+// into, not zeroed.
+func Col2ImBatch(g ConvGeom, cols, imgs *Tensor) {
+	g.Validate()
+	if imgs.Cols() != g.InC*g.InH*g.InW {
+		panic(fmt.Sprintf("tensor: Col2ImBatch image width %d, want %d", imgs.Cols(), g.InC*g.InH*g.InW))
+	}
+	batch := imgs.Rows()
+	ohw := g.OutH() * g.OutW()
+	patch := g.InC * g.K * g.K
+	if cols.Rows() != batch*ohw || cols.Cols() != patch {
+		panic(fmt.Sprintf("tensor: Col2ImBatch cols shape %v, want (%d,%d)", cols.Shape, batch*ohw, patch))
+	}
+	block := ohw * patch
+	for i := 0; i < batch; i++ {
+		col2imCore(g, cols.Data[i*block:(i+1)*block], imgs.Row(i))
+	}
+}
+
+// col2imCore accumulates cd (one sample's column block) into img.
+func col2imCore(g ConvGeom, cd []float64, img []float64) {
+	oh, ow := g.OutH(), g.OutW()
 	idx := 0
 	for oy := 0; oy < oh; oy++ {
 		for ox := 0; ox < ow; ox++ {

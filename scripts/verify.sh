@@ -21,6 +21,14 @@ go test -race -short -run 'TestNestedDeterminismMatrix|TestStealVsInlineEquivale
 # the fuzzing engine proper).
 go test -short -run 'FuzzParseCellKey|TestCellKeyPropertyRoundTrip' ./internal/experiments/
 
+# Compute-kernel gates: the blocked/register-tiled GEMM kernels (both
+# the AVX and pure-Go micro-kernels, all three transpose variants, and
+# the pool-hook stripe fan-out) must be BIT-identical to the naive
+# reference loops, and a warm arena-backed train step (dense and conv
+# stacks) must perform zero heap allocations.
+go test -run 'TestBlockedBitIdentity|TestParallelStripesBitIdentical|TestKernelScratchReuse' ./internal/tensor/
+go test -run 'TestTrainStepAllocsDense|TestTrainStepAllocsConv|TestScratchPathMatchesPlain' ./internal/nn/
+
 # Shard-merge round trip: running Table 3 as two shards and merging the
 # artifact files must reproduce the unsharded output byte for byte
 # (modulo the one-line timing header, which `tail -n +2` strips).
