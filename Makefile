@@ -29,10 +29,12 @@ bench:
 # each width, the nested-grid stealing case, blocked/naive GEMM and the
 # conv passes): a seconds-long smoke that the benchmark harness itself
 # still runs, without the timing reps of `make bench`. Also emits and
-# sanity-checks BENCH_compute.json (schema + speedup + allocation gates
-# asserted by TestComputeBenchJSON).
+# sanity-checks BENCH_engine.json (work-stealing + the million-client
+# constant-memory client_scaling record, asserted by TestEngineBenchJSON)
+# and BENCH_compute.json (schema + speedup + allocation gates asserted
+# by TestComputeBenchJSON).
 bench-smoke:
-	$(GO) test -bench 'EngineRoundLoop|NestedGridSteal|ComputeGEMM|ComputeConv' -benchtime=1x -run 'TestComputeBenchJSON' .
+	$(GO) test -bench 'EngineRoundLoop|NestedGridSteal|ComputeGEMM|ComputeConv' -benchtime=1x -run 'TestEngineBenchJSON|TestComputeBenchJSON' .
 
 # Fuzz the cell-key codec (the identity under artifact files, shard
 # assignment and cache addressing) with the native fuzzing engine.

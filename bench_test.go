@@ -411,6 +411,72 @@ func BenchmarkNestedGridSteal(b *testing.B) {
 	}
 }
 
+// --- Client-scaling case: constant memory in client count -------------
+
+// clientScalingJSON is the BENCH_engine.json record of the virtual-client
+// memory model: the same K=10 federated run at 100 and 1,000,000 client
+// identities, with the peak live heap of each. The ratio is the point —
+// the ClientPool keeps per-round state O(K), so a 10,000× jump in client
+// count must not move peak memory materially (asserted ≤ 2× by
+// TestEngineBenchJSON).
+type clientScalingJSON struct {
+	ClientsSmall  int     `json:"clients_small"`
+	ClientsLarge  int     `json:"clients_large"`
+	K             int     `json:"k"`
+	Rounds        int     `json:"rounds"`
+	Workers       int     `json:"workers"`
+	PeakHeapSmall uint64  `json:"peak_heap_small_bytes"`
+	PeakHeapLarge uint64  `json:"peak_heap_large_bytes"`
+	Ratio         float64 `json:"peak_heap_ratio"`
+}
+
+// heapPeakSelector wraps a Selector and samples the live heap at every
+// selection point (plus the caller's explicit samples before and after
+// the run), recording the maximum — a deterministic, allocation-noise-
+// free stand-in for continuous peak-RSS tracking.
+type heapPeakSelector struct {
+	inner Selector
+	peak  *uint64
+}
+
+func (s heapPeakSelector) Name() string { return s.inner.Name() }
+
+func (s heapPeakSelector) Select(round, k int, pop Population, r *rng.RNG) []int {
+	sampleHeapPeak(s.peak)
+	return s.inner.Select(round, k, pop, r)
+}
+
+// sampleHeapPeak raises *peak to the current live heap after a GC.
+func sampleHeapPeak(peak *uint64) {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if m.HeapAlloc > *peak {
+		*peak = m.HeapAlloc
+	}
+}
+
+// measureClientScaling runs the canonical virtual-client workload —
+// CyclicPartition over the engine fixture's dataset, K=10 — at the given
+// client count and returns the peak live heap observed across the run.
+func measureClientScaling(clients int) uint64 {
+	spec := MNISTSim().Scaled(0.2)
+	train, _ := Synthesize(spec, 1)
+	factory := MLPFactory(train.Dim, []int{48}, train.NumClasses)
+	cp := NewClientPool(train, CyclicPartition{N: train.N, Per: 8, Clients: clients}, factory, 7)
+	var peakHeap uint64
+	cfg := RunConfig{
+		Rounds: 3, K: 10,
+		Local:    LocalConfig{Epochs: 1, Batch: 8, LR: 0.03},
+		Factory:  factory, Seed: 9, Workers: 4,
+		Selector: heapPeakSelector{inner: UniformSelector{}, peak: &peakHeap},
+	}
+	sampleHeapPeak(&peakHeap)
+	_ = RunVirtual(cfg, cp, nil, FedAvg{})
+	sampleHeapPeak(&peakHeap)
+	return peakHeap
+}
+
 // TestEngineBenchJSON times the round loop at several engine widths and
 // writes BENCH_engine.json, the machine-readable record of the engine's
 // scaling on this host. On a single-core host the expected speedup is
@@ -479,22 +545,41 @@ func TestEngineBenchJSON(t *testing.T) {
 	}
 	nested.NsPerRun = nestedNs
 
+	// Client-scaling case: peak live heap must be a function of K, not of
+	// the client count. Run small first so the large run inherits a warm
+	// heap baseline rather than the other way around.
+	const scaleSmall, scaleLarge, scaleK, scaleRounds = 100, 1_000_000, 10, 3
+	peakSmall := measureClientScaling(scaleSmall)
+	peakLarge := measureClientScaling(scaleLarge)
+	scaling := clientScalingJSON{
+		ClientsSmall:  scaleSmall,
+		ClientsLarge:  scaleLarge,
+		K:             scaleK,
+		Rounds:        scaleRounds,
+		Workers:       4,
+		PeakHeapSmall: peakSmall,
+		PeakHeapLarge: peakLarge,
+		Ratio:         float64(peakLarge) / float64(peakSmall),
+	}
+
 	doc := struct {
-		Benchmark  string         `json:"benchmark"`
-		GOMAXPROCS int            `json:"gomaxprocs"`
-		NumCPU     int            `json:"num_cpu"`
-		Rounds     int            `json:"rounds"`
-		Clients    int            `json:"clients"`
-		Cases      []caseJSON     `json:"cases"`
-		NestedGrid nestedGridJSON `json:"nested_grid"`
+		Benchmark     string            `json:"benchmark"`
+		GOMAXPROCS    int               `json:"gomaxprocs"`
+		NumCPU        int               `json:"num_cpu"`
+		Rounds        int               `json:"rounds"`
+		Clients       int               `json:"clients"`
+		Cases         []caseJSON        `json:"cases"`
+		NestedGrid    nestedGridJSON    `json:"nested_grid"`
+		ClientScaling clientScalingJSON `json:"client_scaling"`
 	}{
-		Benchmark:  "engine_round_loop",
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Rounds:     cfg.Rounds,
-		Clients:    cfg.K,
-		Cases:      cases,
-		NestedGrid: nested,
+		Benchmark:     "engine_round_loop",
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+		Rounds:        cfg.Rounds,
+		Clients:       cfg.K,
+		Cases:         cases,
+		NestedGrid:    nested,
+		ClientScaling: scaling,
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -523,6 +608,14 @@ func TestEngineBenchJSON(t *testing.T) {
 	// more than one task was in flight.
 	if nested.EngineEnqueues <= 0 || nested.EngineMaxLanesBusy <= 1 {
 		t.Fatalf("nested grid: engine stats missed the saturation (%+v)", nested)
+	}
+	// The constant-memory acceptance gate: a 10,000× jump in client count
+	// at fixed K must leave peak live heap within 2× of the small run.
+	// Before the lazy-view ClientPool, materializing a million shards
+	// failed this by orders of magnitude (or OOMed outright).
+	if scaling.PeakHeapSmall == 0 || scaling.Ratio > 2.0 {
+		t.Fatalf("client scaling: peak heap grew %.2fx from %d to %d clients (%+v)",
+			scaling.Ratio, scaleSmall, scaleLarge, scaling)
 	}
 }
 

@@ -10,7 +10,11 @@
 //   - datasets: Synthesize + the MNISTSim/FashionSim/CIFAR100Sim specs
 //   - non-IID partitioners: Pareto (PA), ClusteredEqual (CE, the paper's
 //     cluster skew), ClusteredNonEqual (CN), EqualShards, NonEqualShards
-//   - the FL loop: NewClient/BuildClients, Run, SingleSet
+//   - the FL loop: NewClient/BuildClients, Run, SingleSet — and the
+//     constant-memory virtual-client path NewClientPool/RunVirtual, where
+//     clients are (seed, index-recipe) identities over zero-copy
+//     DataView shards, materialized only while selected (bit-identical
+//     to the eager path)
 //   - the execution engine: NewWorkerPool + RunConfig.Workers, a bounded
 //     work-stealing pool whose parallel results are bit-identical to
 //     sequential and whose nested loops stay parallel under saturation
@@ -45,6 +49,14 @@ type (
 	DataSpec = dataset.Spec
 	// ImageShape is the CHW layout of one sample.
 	ImageShape = dataset.ImageShape
+	// DataSource is the read-only sample-access interface shared by
+	// Dataset and DataView; federated clients train against it.
+	DataSource = dataset.Data
+	// DataView is a zero-copy indexed view into a Dataset: shard
+	// semantics without shard copies. Views share the parent's storage,
+	// so mutating samples through (or under) a view is forbidden;
+	// Materialize returns a contiguous private copy.
+	DataView = dataset.View
 )
 
 // Partitioning types.
@@ -79,6 +91,21 @@ type (
 	Result = fl.Result
 	// RoundMetrics is one round's measurements.
 	RoundMetrics = fl.RoundMetrics
+	// ClientPool owns K reusable client slots and materializes virtual
+	// clients — (seed, index-recipe) identities — only while selected,
+	// keeping run memory O(K) instead of O(clients).
+	ClientPool = fl.ClientPool
+	// ClientPartition assigns dataset samples to virtual-client
+	// identities without materializing per-client lists.
+	ClientPartition = fl.Partition
+	// IndexPartition adapts a materialized [][]int assignment to
+	// ClientPartition.
+	IndexPartition = fl.IndexPartition
+	// CyclicPartition stripes samples cyclically over any number of
+	// clients in O(1) storage (the million-client scaling partition).
+	CyclicPartition = fl.CyclicPartition
+	// Population is the Selector's read-only view of the client fleet.
+	Population = fl.Population
 )
 
 // DRL agent types.
@@ -146,6 +173,11 @@ var (
 	BuildClients = fl.BuildClients
 	// Run executes Algorithm 2 with the given aggregator.
 	Run = fl.Run
+	// NewClientPool builds the constant-memory virtual-client pool.
+	NewClientPool = fl.NewClientPool
+	// RunVirtual is Run over a ClientPool: clients materialize only
+	// while selected, bit-identical to the eager path.
+	RunVirtual = fl.RunVirtual
 	// SingleSet trains centrally on the combined data (the §4.1 baseline).
 	SingleSet = fl.SingleSet
 	// Aggregate computes the Eq. 4 weighted model merge.

@@ -44,6 +44,9 @@ func (e *flEnv) Reset() []float64 {
 	k := e.drlCfg.K
 	assign := buildPartition("CE", e.train, e.spec, k, defaultDelta, rng.New(e.seed+21))
 	factory := e.s.factoryFor(e.spec)
+	// Full participation, so every client stays live each round — the
+	// eager fleet is the right shape here, and its shards are zero-copy
+	// views of e.train rather than per-client copies.
 	e.clients = fl.BuildClients(e.train, assign.ClientIndices, factory, e.seed+22)
 	e.global = factory(e.seed + 23).ParamVector()
 	e.round = 0

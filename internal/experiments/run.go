@@ -79,6 +79,10 @@ func runMethodOn(s Scale, spec dataset.Spec, partName, method string, n, k int, 
 	}
 	if method == "SingleSet" {
 		cfg := s.runConfig(spec, k, 0, seed+1)
+		// The baseline borrows the same pool as the federated cells, so
+		// its kernel/eval parallelism — and therefore its timings — are
+		// comparable with theirs.
+		cfg.Pool = pool
 		return fl.SingleSet(cfg, train, test)
 	}
 	r := rng.New(seed + 2)
@@ -99,8 +103,11 @@ func runMethodOn(s Scale, spec dataset.Spec, partName, method string, n, k int, 
 	}
 	cfg := s.runConfig(spec, k, proxMu, seed+1)
 	cfg.Pool = pool
-	clients := fl.BuildClients(train, assign.ClientIndices, cfg.Factory, seed+4)
-	return fl.Run(cfg, clients, test, agg)
+	// Virtual clients: only the K selected identities occupy client
+	// state at a time, so a cell's memory is O(K) in its client count.
+	// Bit-identical to the eager fl.Run path with the same seed.
+	cp := fl.NewClientPool(train, fl.IndexPartition(assign.ClientIndices), cfg.Factory, seed+4)
+	return fl.RunVirtual(cfg, cp, test, agg)
 }
 
 // artifactStore executes cell jobs and caches their artifacts within one

@@ -225,7 +225,10 @@ func (s Scale) factoryFor(spec dataset.Spec) nn.Factory {
 	}
 }
 
-// runConfig assembles the fl.RunConfig for this scale.
+// runConfig assembles the fl.RunConfig for this scale. The parallelism
+// settings (Workers, or the Pool the caller attaches) govern every
+// method uniformly — including the SingleSet baseline, whose kernel and
+// evaluation fan-out runs on the same engine as the federated cells.
 func (s Scale) runConfig(spec dataset.Spec, k int, proxMu float64, seed uint64) fl.RunConfig {
 	return fl.RunConfig{
 		Rounds:    s.Rounds,

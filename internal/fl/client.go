@@ -5,6 +5,13 @@
 // the SingleSet centralized baseline, and per-round metrics (top-1 test
 // accuracy, per-client inference-loss statistics, and the server-side
 // timing split of Fig. 9).
+//
+// Clients exist in two forms that produce bit-identical results: eager
+// clients (NewClient/BuildClients + Run), each permanently bound to its
+// shard, and virtual clients (ClientPool + RunVirtual), where a client
+// is only a (seed, index-recipe) identity materialized into one of K
+// reusable slots while selected — the constant-memory path for
+// simulating millions of clients.
 package fl
 
 import (
@@ -15,6 +22,21 @@ import (
 	"feddrl/internal/rng"
 	"feddrl/internal/tensor"
 )
+
+// clientSeedStride spaces per-client model seeds (BuildClients and
+// ClientPool derive client i's seed as base + i*stride); clientRNGSalt
+// decorrelates a client's data-order RNG from its weight-init stream.
+// Both constants are part of the determinism contract: eager and virtual
+// clients must derive identical streams from the same identity.
+const (
+	clientSeedStride = 0x9e3779b9
+	clientRNGSalt    = 0x5bd1e995
+)
+
+// clientSeed returns client id's model seed under a run's base seed.
+func clientSeed(base uint64, id int) uint64 {
+	return base + uint64(id)*clientSeedStride
+}
 
 // LocalConfig is the client-side solver configuration. The paper uses
 // SGD with E = 5 local epochs, batch size b = 10 and learning rate 0.01
@@ -55,9 +77,14 @@ type Update struct {
 // and its minibatch/permutation buffers, so across rounds of a grid
 // cell the warm train steps and inference passes reuse the same memory
 // instead of re-allocating every activation.
+//
+// Data is the shard-access interface, not a concrete dataset: an eager
+// client holds a zero-copy dataset.View of the shared training set (or a
+// private *dataset.Dataset), and a ClientPool slot is rebound to a new
+// identity's view each round.
 type Client struct {
 	ID   int
-	Data *dataset.Dataset
+	Data dataset.Data
 
 	model   *nn.Network
 	r       *rng.RNG
@@ -66,22 +93,38 @@ type Client struct {
 	perm    []int
 	xb      *tensor.Tensor
 	yb      []int
+	// eval is the client's one-lane chunked-evaluation arena (aliasing
+	// model/ce/scratch) and sums its per-chunk partial-sum scratch, so
+	// the per-round inference passes allocate nothing in steady state.
+	eval []*evalLane
+	sums evalSums
 }
 
-// NewClient builds a client over its shard. factory instantiates the
-// globally agreed model architecture.
-func NewClient(id int, data *dataset.Dataset, factory nn.Factory, seed uint64) *Client {
-	if data == nil {
-		panic("fl: NewClient with nil data")
-	}
-	return &Client{
-		ID:      id,
-		Data:    data,
+// newClientCore builds a client's reusable state — model, RNG, scratch
+// arenas — without binding an identity or shard. Shared by NewClient and
+// ClientPool slots.
+func newClientCore(factory nn.Factory, seed uint64) *Client {
+	c := &Client{
 		model:   factory(seed),
-		r:       rng.New(seed ^ 0x5bd1e995),
+		r:       rng.New(seed ^ clientRNGSalt),
 		scratch: nn.NewScratch(),
 		ce:      nn.NewCrossEntropy(),
 	}
+	c.eval = []*evalLane{{model: c.model, ce: c.ce, scratch: c.scratch}}
+	return c
+}
+
+// NewClient builds a client over its shard. factory instantiates the
+// globally agreed model architecture. data may be a *dataset.Dataset or
+// a zero-copy *dataset.View; training only reads it.
+func NewClient(id int, data dataset.Data, factory nn.Factory, seed uint64) *Client {
+	if data == nil {
+		panic("fl: NewClient with nil data")
+	}
+	c := newClientCore(factory, seed)
+	c.ID = id
+	c.Data = data
+	return c
 }
 
 // evalChunk bounds the batch size of full-dataset evaluation passes.
@@ -96,23 +139,26 @@ func EvalLoss(m *nn.Network, d *dataset.Dataset) float64 {
 }
 
 // EvalLossAcc returns mean loss and top-1 accuracy of the model on d.
-// It runs sequentially; use Evaluator for the chunk-parallel equivalent
-// (the two are bit-identical by construction).
+// It is the sequential reference kernel and allocates its loss scratch
+// per call; hot paths (Run, SingleSet, client inference) go through the
+// persistent arenas of Evaluator and Client instead, which are
+// bit-identical to this by construction.
 func EvalLossAcc(m *nn.Network, d *dataset.Dataset) (loss, acc float64) {
 	if d.N == 0 {
 		return 0, 0
 	}
-	return evalChunked([]*nn.Network{m}, []*nn.CrossEntropy{nn.NewCrossEntropy()}, []*nn.Scratch{nil}, d, nil)
+	var sums evalSums
+	return evalChunked([]*evalLane{{model: m, ce: nn.NewCrossEntropy()}}, d, nil, &sums)
 }
 
 // evalLoss is the client's arena-backed inference pass: the same chunk
 // walk as EvalLoss, reusing the client's model scratch and loss buffers
 // round over round.
 func (c *Client) evalLoss() float64 {
-	if c.Data.N == 0 {
+	if c.Data.Len() == 0 {
 		return 0
 	}
-	loss, _ := evalChunked([]*nn.Network{c.model}, []*nn.CrossEntropy{c.ce}, []*nn.Scratch{c.scratch}, c.Data, nil)
+	loss, _ := evalChunked(c.eval, c.Data, nil, &c.sums)
 	return loss
 }
 
@@ -123,8 +169,9 @@ func (c *Client) evalLoss() float64 {
 func (c *Client) Run(global []float64, lc LocalConfig) Update {
 	lc.Validate()
 	c.model.SetParamVector(global)
-	u := Update{ClientID: c.ID, N: c.Data.N}
-	if c.Data.N == 0 {
+	n := c.Data.Len()
+	u := Update{ClientID: c.ID, N: n}
+	if n == 0 {
 		// Degenerate shard: return the global weights unchanged so the
 		// aggregation stays well-defined.
 		u.Weights = append([]float64(nil), global...)
@@ -137,27 +184,28 @@ func (c *Client) Run(global []float64, lc LocalConfig) Update {
 		opt.ProxMu = lc.ProxMu
 		opt.ProxRef = global
 	}
+	dim := c.Data.FeatureDim()
 	batch := lc.Batch
-	if batch > c.Data.N {
-		batch = c.Data.N
+	if batch > n {
+		batch = n
 	}
-	if c.xb == nil || c.xb.Rows() != batch || c.xb.Cols() != c.Data.Dim {
-		c.xb = tensor.New(batch, c.Data.Dim)
+	if c.xb == nil || c.xb.Rows() != batch || c.xb.Cols() != dim {
+		c.xb = tensor.New(batch, dim)
 	}
 	if cap(c.yb) < batch {
 		c.yb = make([]int, batch)
 	}
-	if cap(c.perm) < c.Data.N {
-		c.perm = make([]int, c.Data.N)
+	if cap(c.perm) < n {
+		c.perm = make([]int, n)
 	}
-	xb, yb, perm := c.xb, c.yb[:batch], c.perm[:c.Data.N]
+	xb, yb, perm := c.xb, c.yb[:batch], c.perm[:n]
 	for e := 0; e < lc.Epochs; e++ {
 		c.r.PermInto(perm)
-		for start := 0; start+batch <= c.Data.N; start += batch {
+		for start := 0; start+batch <= n; start += batch {
 			for bi := 0; bi < batch; bi++ {
 				idx := perm[start+bi]
 				copy(xb.Row(bi), c.Data.Sample(idx))
-				yb[bi] = c.Data.Y[idx]
+				yb[bi] = c.Data.Label(idx)
 			}
 			c.ce.Forward(c.model.ForwardScratch(c.scratch, xb, true), yb)
 			c.model.ZeroGrads()

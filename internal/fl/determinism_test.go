@@ -142,7 +142,7 @@ func TestRunSharedPool(t *testing.T) {
 type dupSelector struct{}
 
 func (dupSelector) Name() string { return "dup" }
-func (dupSelector) Select(round, k int, eligible []*Client, losses []float64, r *rng.RNG) []int {
+func (dupSelector) Select(round, k int, pop Population, r *rng.RNG) []int {
 	out := make([]int, k)
 	for i := range out {
 		out[i] = i % 2

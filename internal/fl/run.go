@@ -174,15 +174,69 @@ func (r *Result) MeanAggTime() time.Duration {
 	return total / time.Duration(len(r.Rounds))
 }
 
+// population is the run loop's view of a client fleet: the Population
+// surface the Selector sees, plus slot checkout for the training phase
+// and loss write-back. checkout/checkin are never called concurrently —
+// the parallel path binds all K slots before fanning out and releases
+// them after the barrier — so implementations need no locking.
+type population interface {
+	Population
+	// checkout returns a ready-to-train client for eligible index i,
+	// bound to slot. Concurrent checkouts always use distinct slots.
+	checkout(slot, i int) *Client
+	// checkin releases a checked-out client, persisting whatever
+	// identity state (RNG position) must survive to its next selection.
+	checkin(slot int, c *Client)
+	// noteLoss records client i's latest global-model inference loss.
+	noteLoss(i int, v float64)
+}
+
+// eagerClients adapts a materialized []*Client fleet to the population
+// interface: checkout is identity lookup and checkin is a no-op, since
+// each eager client permanently owns its state.
+type eagerClients struct {
+	clients []*Client
+	losses  []float64
+}
+
+func (e *eagerClients) NumClients() int            { return len(e.clients) }
+func (e *eagerClients) SampleCount(i int) int      { return e.clients[i].Data.Len() }
+func (e *eagerClients) LastLoss(i int) float64     { return e.losses[i] }
+func (e *eagerClients) checkout(slot, i int) *Client { return e.clients[i] }
+func (e *eagerClients) checkin(slot int, c *Client)  {}
+func (e *eagerClients) noteLoss(i int, v float64)  { e.losses[i] = v }
+
 // Run executes Algorithm 2: for every round, broadcast the global
 // weights to K selected clients, train locally (optionally in parallel),
 // compute impact factors via the aggregator, merge (Eq. 4), and record
 // metrics. It returns the full per-round record.
+//
+// Run takes a materialized client fleet; RunVirtual is the
+// constant-memory equivalent over a ClientPool, bit-identical for the
+// same identities.
 func Run(cfg RunConfig, clients []*Client, test *dataset.Dataset, agg Aggregator) *Result {
 	cfg.Validate()
 	if len(clients) == 0 {
 		panic("fl: Run with no clients")
 	}
+	// Only clients with data can contribute.
+	eligible := make([]*Client, 0, len(clients))
+	for _, c := range clients {
+		if c.Data.Len() > 0 {
+			eligible = append(eligible, c)
+		}
+	}
+	if len(eligible) == 0 {
+		panic("fl: all client shards are empty")
+	}
+	pop := &eagerClients{clients: eligible, losses: make([]float64, len(eligible))}
+	return runLoop(cfg, pop, test, agg)
+}
+
+// runLoop is the round loop shared by Run and RunVirtual. All per-round
+// scratch (update slots, metric buffers, the distinct-check set) is
+// allocated once up front, so the loop itself adds no heap churn.
+func runLoop(cfg RunConfig, pop population, test *dataset.Dataset, agg Aggregator) *Result {
 	if agg == nil {
 		panic("fl: Run with nil aggregator")
 	}
@@ -190,20 +244,9 @@ func Run(cfg RunConfig, clients []*Client, test *dataset.Dataset, agg Aggregator
 	if evalEvery == 0 {
 		evalEvery = 1
 	}
-
-	// Only clients with data can contribute.
-	eligible := make([]*Client, 0, len(clients))
-	for _, c := range clients {
-		if c.Data.N > 0 {
-			eligible = append(eligible, c)
-		}
-	}
-	if len(eligible) == 0 {
-		panic("fl: all client shards are empty")
-	}
 	k := cfg.K
-	if k > len(eligible) {
-		k = len(eligible)
+	if k > pop.NumClients() {
+		k = pop.NumClients()
 	}
 
 	serverRNG := rng.New(cfg.Seed)
@@ -230,7 +273,10 @@ func Run(cfg RunConfig, clients []*Client, test *dataset.Dataset, agg Aggregator
 		tensor.SetParallel(pool)
 	}
 	var ev *Evaluator
-	if test != nil && pool != nil {
+	if test != nil {
+		// The evaluator's persistent lanes serve the sequential case too
+		// (nil pool → one lane), so no eval path re-allocates its loss
+		// scratch per round.
 		ev = NewEvaluator(cfg.Factory, cfg.Seed, pool)
 	}
 
@@ -238,28 +284,44 @@ func Run(cfg RunConfig, clients []*Client, test *dataset.Dataset, agg Aggregator
 	if sel == nil {
 		sel = UniformSelector{}
 	}
-	lastLoss := make([]float64, len(eligible))
 
 	res := &Result{Method: agg.Name(), NumParam: len(global)}
 	updates := make([]Update, k)
+	slots := make([]*Client, k)
+	lb := make([]float64, k)
+	seen := make(map[int]struct{}, k)
 	for round := 0; round < cfg.Rounds; round++ {
-		selected := sel.Select(round, k, eligible, lastLoss, serverRNG)
+		selected := sel.Select(round, k, pop, serverRNG)
 
-		if pool != nil && k > 1 && distinct(selected) {
+		if pool != nil && k > 1 && distinctInto(seen, selected) {
+			// Bind every selected identity to its own slot before the
+			// fan-out, run the slots in parallel, release after the
+			// barrier — checkout/checkin stay single-threaded.
+			for i, ci := range selected {
+				slots[i] = pop.checkout(i, ci)
+			}
 			pool.For(k, func(i int) {
-				updates[i] = eligible[selected[i]].Run(global, cfg.Local)
+				updates[i] = slots[i].Run(global, cfg.Local)
 			})
+			for i := range selected {
+				pop.checkin(i, slots[i])
+			}
 		} else {
 			// Sequential path — also the safety net for a custom
 			// Selector that violates the distinct-indices contract, where
 			// two tasks would otherwise share one client's model and RNG.
+			// One slot is checked out and returned per iteration, so a
+			// duplicated identity resumes the RNG stream its earlier
+			// occurrence advanced, exactly like a reused eager client.
 			for i, ci := range selected {
-				updates[i] = eligible[ci].Run(global, cfg.Local)
+				c := pop.checkout(0, ci)
+				updates[i] = c.Run(global, cfg.Local)
+				pop.checkin(0, c)
 			}
 		}
 
 		for i, ci := range selected {
-			lastLoss[ci] = updates[i].LossBefore
+			pop.noteLoss(ci, updates[i].LossBefore)
 		}
 
 		t0 := time.Now()
@@ -270,7 +332,6 @@ func Run(cfg RunConfig, clients []*Client, test *dataset.Dataset, agg Aggregator
 		global = AggregateOn(updates, alpha, pool)
 		aggTime := time.Since(t1)
 
-		lb := make([]float64, k)
 		for i, u := range updates {
 			lb[i] = u.LossBefore
 		}
@@ -284,13 +345,7 @@ func Run(cfg RunConfig, clients []*Client, test *dataset.Dataset, agg Aggregator
 			AggTime:        aggTime,
 		}
 		if test != nil && (round%evalEvery == 0 || round == cfg.Rounds-1) {
-			var loss, acc float64
-			if ev != nil {
-				loss, acc = ev.Eval(global, test)
-			} else {
-				serverModel.SetParamVector(global)
-				loss, acc = EvalLossAcc(serverModel, test)
-			}
+			loss, acc := ev.Eval(global, test)
 			m.Evaluated = true
 			m.TestLoss = loss
 			m.TestAcc = acc * 100
@@ -303,10 +358,11 @@ func Run(cfg RunConfig, clients []*Client, test *dataset.Dataset, agg Aggregator
 	return res
 }
 
-// distinct reports whether all indices differ (the Selector contract;
-// verified before sharing clients across pool lanes).
-func distinct(idx []int) bool {
-	seen := make(map[int]struct{}, len(idx))
+// distinctInto reports whether all indices differ (the Selector
+// contract; verified before sharing clients across pool lanes). seen is
+// caller-owned scratch, cleared on entry.
+func distinctInto(seen map[int]struct{}, idx []int) bool {
+	clear(seen)
 	for _, i := range idx {
 		if _, dup := seen[i]; dup {
 			return false
@@ -319,7 +375,11 @@ func distinct(idx []int) bool {
 // SingleSet trains on the concatenation of all client data in one place
 // (the reference upper bound of §4.1): per "round" the model runs the
 // same local-solver budget over the combined dataset, and the test
-// accuracy is recorded on the same cadence as the federated runs.
+// accuracy is recorded on the same cadence as the federated runs. It
+// honors Workers/Pool exactly like Run — the tensor kernels and the
+// test evaluation fan out on the same engine — so its timings are
+// comparable with the federated runs; results are bit-identical at any
+// worker count.
 func SingleSet(cfg RunConfig, all *dataset.Dataset, test *dataset.Dataset) *Result {
 	cfg.Validate()
 	if all == nil || all.N == 0 {
@@ -329,9 +389,22 @@ func SingleSet(cfg RunConfig, all *dataset.Dataset, test *dataset.Dataset) *Resu
 	if evalEvery == 0 {
 		evalEvery = 1
 	}
+	pool := cfg.Pool
+	if pool == nil && cfg.effectiveWorkers() > 1 {
+		pool = engine.New(cfg.effectiveWorkers())
+		defer pool.Close()
+		defer tensor.ClearParallel(pool)
+	}
+	if pool != nil {
+		tensor.SetParallel(pool)
+	}
 	client := NewClient(0, all, cfg.Factory, cfg.Seed+0xace)
 	serverModel := cfg.Factory(cfg.Seed)
 	global := serverModel.ParamVector()
+	var ev *Evaluator
+	if test != nil {
+		ev = NewEvaluator(cfg.Factory, cfg.Seed, pool)
+	}
 	res := &Result{Method: "SingleSet", NumParam: len(global)}
 	for round := 0; round < cfg.Rounds; round++ {
 		u := client.Run(global, cfg.Local)
@@ -343,8 +416,7 @@ func SingleSet(cfg RunConfig, all *dataset.Dataset, test *dataset.Dataset) *Resu
 			ClientLossMin:  u.LossBefore,
 		}
 		if test != nil && (round%evalEvery == 0 || round == cfg.Rounds-1) {
-			serverModel.SetParamVector(global)
-			loss, acc := EvalLossAcc(serverModel, test)
+			loss, acc := ev.Eval(global, test)
 			m.Evaluated = true
 			m.TestLoss = loss
 			m.TestAcc = acc * 100
@@ -357,12 +429,15 @@ func SingleSet(cfg RunConfig, all *dataset.Dataset, test *dataset.Dataset) *Resu
 	return res
 }
 
-// BuildClients splits a dataset by an assignment's client index lists and
-// wraps each shard in a Client (deterministic per seed and client ID).
+// BuildClients splits a dataset by an assignment's client index lists
+// and wraps each shard in a Client (deterministic per seed and client
+// ID). Shards are zero-copy views into d — client memory is O(total
+// indices), not O(total samples) — so d must stay immutable while the
+// clients train, which the run loop guarantees (training only reads).
 func BuildClients(d *dataset.Dataset, indices [][]int, factory nn.Factory, seed uint64) []*Client {
 	clients := make([]*Client, len(indices))
 	for i, idx := range indices {
-		clients[i] = NewClient(i, d.Subset(idx), factory, seed+uint64(i)*0x9e3779b9)
+		clients[i] = NewClient(i, d.View(idx), factory, clientSeed(seed, i))
 	}
 	return clients
 }

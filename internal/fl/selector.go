@@ -6,6 +6,23 @@ import (
 	"feddrl/internal/rng"
 )
 
+// Population is the Selector's read-only view of the client fleet. It
+// deliberately exposes per-client scalars rather than a []*Client slice:
+// in virtual-client mode (ClientPool) no client objects exist outside
+// the K active slots, and a selector over a million identities must not
+// force them into existence. Indices are eligible-client indices — the
+// same index space for eager and virtual runs, which is part of the
+// bit-identity contract between the two.
+type Population interface {
+	// NumClients returns the number of eligible (non-empty) clients.
+	NumClients() int
+	// SampleCount returns client i's shard size.
+	SampleCount(i int) int
+	// LastLoss returns client i's most recent global-model inference
+	// loss, 0 when never measured.
+	LastLoss(i int) float64
+}
+
 // Selector chooses which clients participate each round. The paper's
 // §1 cites client selection as the *alternative* family of solutions to
 // statistical heterogeneity [3, 21, 30]; the library makes the strategy
@@ -15,10 +32,38 @@ import (
 type Selector interface {
 	// Name identifies the strategy.
 	Name() string
-	// Select returns k distinct indices into eligible. losses holds each
-	// eligible client's most recent global-model inference loss (0 when
-	// never measured), allowing loss-aware strategies.
-	Select(round, k int, eligible []*Client, losses []float64, r *rng.RNG) []int
+	// Select returns k distinct indices into the eligible population.
+	// Returning duplicates violates the contract; Run tolerates it by
+	// falling back to its sequential safety-net path.
+	Select(round, k int, pop Population, r *rng.RNG) []int
+}
+
+// chooseCutoff is the population size above which uniform selection
+// switches from permutation sampling to rejection sampling: Choose
+// allocates and shuffles an O(n) permutation, which at a million virtual
+// clients would dominate every round. Below the cutoff the historical
+// Choose stream is preserved, so existing small-population runs (and
+// their cached experiment artifacts) are unchanged bit for bit. Eager
+// and virtual runs over the same population take the same branch, so
+// the two stay bit-identical at every n.
+const chooseCutoff = 1 << 12
+
+// chooseDistinct draws k distinct indices uniformly from [0, n).
+func chooseDistinct(n, k int, r *rng.RNG) []int {
+	if n <= chooseCutoff {
+		return r.Choose(n, k)
+	}
+	out := make([]int, 0, k)
+	seen := make(map[int]struct{}, k)
+	for len(out) < k {
+		v := r.Intn(n)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
 }
 
 // UniformSelector draws K clients uniformly without replacement — the
@@ -29,23 +74,24 @@ type UniformSelector struct{}
 func (UniformSelector) Name() string { return "uniform" }
 
 // Select implements Selector.
-func (UniformSelector) Select(round, k int, eligible []*Client, losses []float64, r *rng.RNG) []int {
-	return r.Choose(len(eligible), k)
+func (UniformSelector) Select(round, k int, pop Population, r *rng.RNG) []int {
+	return chooseDistinct(pop.NumClients(), k, r)
 }
 
 // SizeWeightedSelector samples clients with probability proportional to
 // their shard size (without replacement), the common importance-sampling
-// variant.
+// variant. It walks the full population per round (O(n)), so it is meant
+// for eager-scale fleets, not million-client virtual runs.
 type SizeWeightedSelector struct{}
 
 // Name returns "size-weighted".
 func (SizeWeightedSelector) Name() string { return "size-weighted" }
 
 // Select implements Selector.
-func (SizeWeightedSelector) Select(round, k int, eligible []*Client, losses []float64, r *rng.RNG) []int {
-	weights := make([]float64, len(eligible))
-	for i, c := range eligible {
-		weights[i] = float64(c.Data.N)
+func (SizeWeightedSelector) Select(round, k int, pop Population, r *rng.RNG) []int {
+	weights := make([]float64, pop.NumClients())
+	for i := range weights {
+		weights[i] = float64(pop.SampleCount(i))
 	}
 	return sampleWithoutReplacement(weights, k, r)
 }
@@ -63,27 +109,27 @@ type PowerOfChoiceSelector struct {
 func (PowerOfChoiceSelector) Name() string { return "power-of-choice" }
 
 // Select implements Selector.
-func (s PowerOfChoiceSelector) Select(round, k int, eligible []*Client, losses []float64, r *rng.RNG) []int {
+func (s PowerOfChoiceSelector) Select(round, k int, pop Population, r *rng.RNG) []int {
 	d := s.D
 	if d < 1 {
 		d = 2
 	}
 	cand := d * k
-	if cand > len(eligible) {
-		cand = len(eligible)
+	if cand > pop.NumClients() {
+		cand = pop.NumClients()
 	}
-	pool := r.Choose(len(eligible), cand)
+	candidates := chooseDistinct(pop.NumClients(), cand, r)
 	// Highest-loss k of the candidate set (selection sort: k is small).
-	for i := 0; i < k && i < len(pool); i++ {
+	for i := 0; i < k && i < len(candidates); i++ {
 		best := i
-		for j := i + 1; j < len(pool); j++ {
-			if losses[pool[j]] > losses[pool[best]] {
+		for j := i + 1; j < len(candidates); j++ {
+			if pop.LastLoss(candidates[j]) > pop.LastLoss(candidates[best]) {
 				best = j
 			}
 		}
-		pool[i], pool[best] = pool[best], pool[i]
+		candidates[i], candidates[best] = candidates[best], candidates[i]
 	}
-	return pool[:k]
+	return candidates[:k]
 }
 
 // RoundRobinSelector cycles deterministically through the clients, a
@@ -94,10 +140,10 @@ type RoundRobinSelector struct{}
 func (RoundRobinSelector) Name() string { return "round-robin" }
 
 // Select implements Selector.
-func (RoundRobinSelector) Select(round, k int, eligible []*Client, losses []float64, r *rng.RNG) []int {
+func (RoundRobinSelector) Select(round, k int, pop Population, r *rng.RNG) []int {
 	out := make([]int, k)
 	for i := 0; i < k; i++ {
-		out[i] = (round*k + i) % len(eligible)
+		out[i] = (round*k + i) % pop.NumClients()
 	}
 	return out
 }

@@ -24,6 +24,12 @@ func buildEligible(t *testing.T, sizes []int) []*Client {
 	return clients
 }
 
+// popOf wraps an eager fleet and its loss vector as the Population the
+// Selector interface now consumes.
+func popOf(clients []*Client, losses []float64) Population {
+	return &eagerClients{clients: clients, losses: losses}
+}
+
 func assertDistinct(t *testing.T, sel []int, k, n int) {
 	t.Helper()
 	if len(sel) != k {
@@ -41,7 +47,7 @@ func assertDistinct(t *testing.T, sel []int, k, n int) {
 func TestUniformSelector(t *testing.T) {
 	clients := buildEligible(t, []int{5, 5, 5, 5, 5, 5})
 	r := rng.New(1)
-	sel := (UniformSelector{}).Select(0, 3, clients, make([]float64, 6), r)
+	sel := (UniformSelector{}).Select(0, 3, popOf(clients, make([]float64, 6)), r)
 	assertDistinct(t, sel, 3, 6)
 }
 
@@ -51,7 +57,7 @@ func TestSizeWeightedSelectorPrefersBigShards(t *testing.T) {
 	bigCount := 0
 	const trials = 300
 	for i := 0; i < trials; i++ {
-		sel := (SizeWeightedSelector{}).Select(i, 1, clients, make([]float64, 4), r)
+		sel := (SizeWeightedSelector{}).Select(i, 1, popOf(clients, make([]float64, 4)), r)
 		assertDistinct(t, sel, 1, 4)
 		if sel[0] == 3 {
 			bigCount++
@@ -67,7 +73,7 @@ func TestPowerOfChoiceSelectsHighLoss(t *testing.T) {
 	losses := []float64{0.1, 0.2, 9.0, 0.3, 8.0, 0.4}
 	r := rng.New(3)
 	// With d covering the full population, the top-loss clients must win.
-	sel := (PowerOfChoiceSelector{D: 3}).Select(0, 2, clients, losses, r)
+	sel := (PowerOfChoiceSelector{D: 3}).Select(0, 2, popOf(clients, losses), r)
 	assertDistinct(t, sel, 2, 6)
 	for _, i := range sel {
 		if losses[i] < 8 {
@@ -80,8 +86,8 @@ func TestRoundRobinCycles(t *testing.T) {
 	clients := buildEligible(t, []int{5, 5, 5})
 	r := rng.New(4)
 	s := RoundRobinSelector{}
-	r0 := s.Select(0, 2, clients, make([]float64, 3), r)
-	r1 := s.Select(1, 2, clients, make([]float64, 3), r)
+	r0 := s.Select(0, 2, popOf(clients, make([]float64, 3)), r)
+	r1 := s.Select(1, 2, popOf(clients, make([]float64, 3)), r)
 	if r0[0] != 0 || r0[1] != 1 || r1[0] != 2 || r1[1] != 0 {
 		t.Fatalf("round robin order wrong: %v %v", r0, r1)
 	}

@@ -38,6 +38,14 @@ func splitmix64(state *uint64) uint64 {
 // seed produce identical sequences.
 func New(seed uint64) *RNG {
 	r := &RNG{}
+	r.Reseed(seed)
+	return r
+}
+
+// Reseed resets the receiver to the exact state New(seed) would produce,
+// discarding any cached spare normal deviate. It lets a pooled generator
+// be rebound to a new identity without allocating.
+func (r *RNG) Reseed(seed uint64) {
 	st := seed
 	for i := range r.s {
 		r.s[i] = splitmix64(&st)
@@ -46,7 +54,29 @@ func New(seed uint64) *RNG {
 	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
 		r.s[0] = 0x9e3779b97f4a7c15
 	}
-	return r
+	r.spare = 0
+	r.hasSpare = false
+}
+
+// State is a complete snapshot of a generator: the xoshiro word state
+// plus the Marsaglia-polar spare cache. Restoring it resumes the stream
+// exactly where the snapshot was taken, including a pending Norm spare.
+type State struct {
+	S        [4]uint64
+	Spare    float64
+	HasSpare bool
+}
+
+// State snapshots the generator.
+func (r *RNG) State() State {
+	return State{S: r.s, Spare: r.spare, HasSpare: r.hasSpare}
+}
+
+// Restore sets the generator to a previously captured snapshot.
+func (r *RNG) Restore(st State) {
+	r.s = st.S
+	r.spare = st.Spare
+	r.hasSpare = st.HasSpare
 }
 
 // Split derives a new generator whose stream is statistically independent

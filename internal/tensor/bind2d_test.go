@@ -1,0 +1,57 @@
+package tensor
+
+import "testing"
+
+func TestBind2DMatchesFromSlice(t *testing.T) {
+	back := make([]float64, 24)
+	for i := range back {
+		back[i] = float64(i)
+	}
+	var hdr Tensor
+	for _, win := range []struct{ off, rows, cols int }{{0, 2, 3}, {6, 3, 3}, {0, 4, 6}} {
+		data := back[win.off : win.off+win.rows*win.cols]
+		got := hdr.Bind2D(data, win.rows, win.cols)
+		want := FromSlice(data, win.rows, win.cols)
+		if got != &hdr {
+			t.Fatal("Bind2D must return the receiver")
+		}
+		if got.Rows() != want.Rows() || got.Cols() != want.Cols() {
+			t.Fatalf("shape (%d,%d), want (%d,%d)", got.Rows(), got.Cols(), want.Rows(), want.Cols())
+		}
+		if &got.Data[0] != &data[0] {
+			t.Fatal("Bind2D copied the data")
+		}
+	}
+}
+
+// TestBind2DWarmAllocsZero: after the first bind creates the Shape
+// header, rebinding allocates nothing — the property the evaluation
+// arenas rely on.
+func TestBind2DWarmAllocsZero(t *testing.T) {
+	back := make([]float64, 12)
+	var hdr Tensor
+	hdr.Bind2D(back, 3, 4)
+	if allocs := testing.AllocsPerRun(100, func() {
+		hdr.Bind2D(back[:6], 2, 3)
+		hdr.Bind2D(back, 4, 3)
+	}); allocs > 0 {
+		t.Fatalf("warm Bind2D allocates %v per run", allocs)
+	}
+}
+
+func TestBind2DPanics(t *testing.T) {
+	var hdr Tensor
+	for _, f := range []func(){
+		func() { hdr.Bind2D(make([]float64, 5), 2, 3) },
+		func() { hdr.Bind2D(nil, 0, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid Bind2D did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -53,6 +53,26 @@ func FromSlice(data []float64, shape ...int) *Tensor {
 	return &Tensor{Shape: append([]int(nil), shape...), Data: data}
 }
 
+// Bind2D repoints the tensor at data with shape (rows, cols) without
+// allocating: the existing Shape slice is rewritten when it already has
+// two entries. data is used directly (not copied) and its length must be
+// rows*cols. This is the reuse-a-header counterpart of FromSlice for hot
+// paths that window over a larger backing array chunk by chunk.
+func (t *Tensor) Bind2D(data []float64, rows, cols int) *Tensor {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("tensor: non-positive dimension in shape [%d %d]", rows, cols))
+	}
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape [%d %d] (need %d)", len(data), rows, cols, rows*cols))
+	}
+	if len(t.Shape) != 2 {
+		t.Shape = make([]int, 2)
+	}
+	t.Shape[0], t.Shape[1] = rows, cols
+	t.Data = data
+	return t
+}
+
 // Len returns the total number of elements.
 func (t *Tensor) Len() int { return len(t.Data) }
 

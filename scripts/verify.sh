@@ -21,6 +21,15 @@ go test -race -short -run 'TestNestedDeterminismMatrix|TestStealVsInlineEquivale
 # the fuzzing engine proper).
 go test -short -run 'FuzzParseCellKey|TestCellKeyPropertyRoundTrip' ./internal/experiments/
 
+# Virtual-client gates: the lazy ClientPool path must be bit-identical
+# to the eager fleet for every aggregator at worker counts 1/2/4/8
+# (including the duplicate-selection safety net and empty-shard
+# eligibility), and a million-client K=10 run must keep its live state
+# O(K). The flat-peak-memory record itself (1e6 vs 100 clients within
+# 2x) is asserted by TestEngineBenchJSON in the full `go test ./...`
+# above and emitted into BENCH_engine.json by `make bench-smoke`.
+go test -race -run 'TestVirtualMatchesEagerBitIdentical|TestRunVirtualDuplicateSelection|TestClientPoolSkipsEmptyShards|TestRunVirtualMillionClients|TestSingleSetHonorsWorkers|TestEvaluatorWarmEvalAllocFree' ./internal/fl/
+
 # Compute-kernel gates: the blocked/register-tiled GEMM kernels (both
 # the AVX and pure-Go micro-kernels, all three transpose variants, and
 # the pool-hook stripe fan-out) must be BIT-identical to the naive
