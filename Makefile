@@ -34,7 +34,7 @@ bench:
 # and BENCH_compute.json (schema + speedup + allocation gates asserted
 # by TestComputeBenchJSON).
 bench-smoke:
-	$(GO) test -bench 'EngineRoundLoop|NestedGridSteal|ComputeGEMM|ComputeConv' -benchtime=1x -run 'TestEngineBenchJSON|TestComputeBenchJSON' .
+	$(GO) test -bench 'EngineRoundLoop|NestedGridSteal|ComputeGEMM|ComputeConv|ComputeElemwise' -benchtime=1x -run 'TestEngineBenchJSON|TestComputeBenchJSON' .
 
 # Fuzz the cell-key codec (the identity under artifact files, shard
 # assignment and cache addressing) with the native fuzzing engine.

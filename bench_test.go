@@ -668,6 +668,39 @@ func BenchmarkComputeGEMMNaive(b *testing.B) {
 	}
 }
 
+// elemwiseBenchFixture sizes the vectors like one flattened model
+// update (the Eq. 4 aggregation and SGD step granularity).
+func elemwiseBenchFixture() (x, y []float64) {
+	x = make([]float64, 1<<16)
+	y = make([]float64, 1<<16)
+	for i := range x {
+		x[i] = 0.25 * float64(i%23)
+	}
+	return x, y
+}
+
+// BenchmarkComputeElemwiseAxpy times the aggregation/SGD workhorse on
+// the dispatched backend (bench-smoke entry).
+func BenchmarkComputeElemwiseAxpy(b *testing.B) {
+	x, y := elemwiseBenchFixture()
+	b.SetBytes(24 << 16) // read x, read y, write y
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Axpy(1.0/1024, x, y)
+	}
+}
+
+// BenchmarkComputeElemwiseReLU times the activation kernel pair.
+func BenchmarkComputeElemwiseReLU(b *testing.B) {
+	x, y := elemwiseBenchFixture()
+	b.SetBytes(2 * 16 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.ReLUForward(x, y)
+		tensor.ReLUBackward(x, y, y)
+	}
+}
+
 // convBenchFixture is a VGG-scale conv layer with a warm arena.
 func convBenchFixture() (*nn.Conv2D, *nn.Scratch, *tensor.Tensor, *tensor.Tensor) {
 	g := tensor.ConvGeom{InC: 16, InH: 16, InW: 16, K: 3, Stride: 1, Pad: 1}
@@ -705,20 +738,32 @@ func BenchmarkComputeConvBackward(b *testing.B) {
 // BENCH_compute.json.
 type gemmEntry struct {
 	Shape     string  `json:"shape"`
+	Backend   string  `json:"kernel_backend"`
 	NaiveNs   int64   `json:"naive_ns"`
 	BlockedNs int64   `json:"blocked_ns"`
 	Speedup   float64 `json:"speedup"`
 	GFLOPS    float64 `json:"blocked_gflops"`
 }
 
+// backendEntry is one row of the backend matrix: the same headline GEMM
+// and a bandwidth-bound elementwise kernel, re-measured with the named
+// backend forced, so the marginal value of each SIMD tier is recorded
+// next to the numbers it produced.
+type backendEntry struct {
+	Backend    string  `json:"backend"`
+	GemmGFLOPS float64 `json:"gemm_gflops"`
+	AxpyGBs    float64 `json:"axpy_gb_s"`
+}
+
 type computeBenchDoc struct {
-	Benchmark      string      `json:"benchmark"`
-	Backend        string      `json:"kernel_backend"`
-	GOMAXPROCS     int         `json:"gomaxprocs"`
-	NumCPU         int         `json:"num_cpu"`
-	GEMM           []gemmEntry `json:"gemm"`
-	ConvForwardNs  int64       `json:"conv_forward_ns"`
-	ConvBackwardNs int64       `json:"conv_backward_ns"`
+	Benchmark      string         `json:"benchmark"`
+	Backend        string         `json:"kernel_backend"`
+	GOMAXPROCS     int            `json:"gomaxprocs"`
+	NumCPU         int            `json:"num_cpu"`
+	GEMM           []gemmEntry    `json:"gemm"`
+	Backends       []backendEntry `json:"backend_matrix"`
+	ConvForwardNs  int64          `json:"conv_forward_ns"`
+	ConvBackwardNs int64          `json:"conv_backward_ns"`
 	TrainStep      struct {
 		DenseAllocs float64 `json:"dense_allocs_per_step"`
 		ConvAllocs  float64 `json:"conv_allocs_per_step"`
@@ -788,6 +833,7 @@ func TestComputeBenchJSON(t *testing.T) {
 		flops := 2 * float64(sh.M) * float64(sh.K) * float64(sh.N)
 		entry := gemmEntry{
 			Shape:     fmt.Sprintf("%dx%dx%d", sh.M, sh.K, sh.N),
+			Backend:   KernelBackend(),
 			NaiveNs:   naiveNs,
 			BlockedNs: blockedNs,
 		}
@@ -796,6 +842,47 @@ func TestComputeBenchJSON(t *testing.T) {
 			entry.GFLOPS = flops / float64(blockedNs)
 		}
 		doc.GEMM = append(doc.GEMM, entry)
+	}
+
+	// Backend matrix: re-measure the headline GEMM and the axpy kernel
+	// with each backend in the fallback chain forced, so the marginal
+	// value of every SIMD tier is on record. The detected backend is
+	// restored before anything else runs.
+	{
+		active := KernelBackend()
+		sh := computeGEMMShapes[len(computeGEMMShapes)-1]
+		a, bb, dst := gemmFixture(sh.M, sh.K, sh.N)
+		flops := 2 * float64(sh.M) * float64(sh.K) * float64(sh.N)
+		const axpyN, axpyReps = 1 << 16, 256
+		ax := make([]float64, axpyN)
+		ay := make([]float64, axpyN)
+		for i := range ax {
+			ax[i] = 0.25 * float64(i%23)
+		}
+		for _, bk := range tensor.Backends() {
+			if err := tensor.SetBackend(bk); err != nil {
+				t.Fatalf("SetBackend(%q): %v", bk, err)
+			}
+			gemmNs := best(func() { tensor.MatMulInto(dst, a, bb) })
+			axpyNs := best(func() {
+				for r := 0; r < axpyReps; r++ {
+					tensor.Axpy(1.0/1024, ax, ay)
+				}
+			})
+			entry := backendEntry{Backend: bk}
+			if gemmNs > 0 {
+				entry.GemmGFLOPS = flops / float64(gemmNs)
+			}
+			if axpyNs > 0 {
+				// Axpy traffic: read x, read y, write y = 24 B/element;
+				// bytes/ns is GB/s.
+				entry.AxpyGBs = 24 * axpyN * axpyReps / float64(axpyNs)
+			}
+			doc.Backends = append(doc.Backends, entry)
+		}
+		if err := tensor.SetBackend(active); err != nil {
+			t.Fatalf("restoring backend %q: %v", active, err)
+		}
 	}
 
 	conv, sc, x, grad := convBenchFixture()
@@ -816,7 +903,8 @@ func TestComputeBenchJSON(t *testing.T) {
 	t.Logf("BENCH_compute.json: %s", buf)
 
 	// Schema sanity: every shape measured, conv timed, backend named.
-	if doc.Backend != "avx" && doc.Backend != "generic" {
+	validBackend := map[string]bool{"avx512": true, "avx": true, "neon": true, "generic": true}
+	if !validBackend[doc.Backend] {
 		t.Fatalf("unknown kernel backend %q", doc.Backend)
 	}
 	if len(doc.GEMM) != len(computeGEMMShapes) {
@@ -825,6 +913,31 @@ func TestComputeBenchJSON(t *testing.T) {
 	for _, g := range doc.GEMM {
 		if g.NaiveNs <= 0 || g.BlockedNs <= 0 {
 			t.Fatalf("shape %s: no measurement (%+v)", g.Shape, g)
+		}
+		if g.Backend != doc.Backend {
+			t.Fatalf("shape %s recorded backend %q, doc says %q", g.Shape, g.Backend, doc.Backend)
+		}
+	}
+	// Backend-matrix sanity and the tier-value gate: every tier in the
+	// chain measured, and where AVX-512 is available its headline GEMM
+	// must beat AVX by >= 1.3x (measured ~1.45x; the margin absorbs CI
+	// noise). Tiers are bit-identical, so this is purely a perf gate.
+	if want := len(tensor.Backends()); len(doc.Backends) != want {
+		t.Fatalf("backend matrix has %d rows, want %d", len(doc.Backends), want)
+	}
+	tierGemm := map[string]float64{}
+	for _, e := range doc.Backends {
+		if !validBackend[e.Backend] {
+			t.Fatalf("backend matrix row for unknown backend %q", e.Backend)
+		}
+		if e.GemmGFLOPS <= 0 || e.AxpyGBs <= 0 {
+			t.Fatalf("backend %s: no measurement (%+v)", e.Backend, e)
+		}
+		tierGemm[e.Backend] = e.GemmGFLOPS
+	}
+	if a512, ok := tierGemm["avx512"]; ok {
+		if avx, ok := tierGemm["avx"]; ok && a512 < 1.3*avx {
+			t.Fatalf("avx512 GEMM %.1f GFLOP/s is under 1.3x avx (%.1f)", a512, avx)
 		}
 	}
 	if doc.ConvForwardNs <= 0 || doc.ConvBackwardNs <= 0 {
@@ -835,12 +948,12 @@ func TestComputeBenchJSON(t *testing.T) {
 		t.Fatalf("warm train step allocates (dense %.1f, conv %.1f), want 0",
 			doc.TrainStep.DenseAllocs, doc.TrainStep.ConvAllocs)
 	}
-	// Speedup gate at the largest shape. The AVX backend lands ~4-6×;
-	// 1.5 leaves room for a loaded CI host. The generic backend is
-	// port-limited near 1.1-1.3× on amd64, so it is reported but not
-	// gated.
+	// Speedup gate at the largest shape. The AVX backend lands ~4-6×
+	// (AVX-512 higher still); 1.5 leaves room for a loaded CI host. The
+	// generic backend is port-limited near 1.1-1.3× on amd64, so it is
+	// reported but not gated.
 	headline := doc.GEMM[len(doc.GEMM)-1]
-	if doc.Backend == "avx" && headline.Speedup < 1.5 {
+	if (doc.Backend == "avx" || doc.Backend == "avx512") && headline.Speedup < 1.5 {
 		t.Fatalf("blocked-vs-naive speedup %.2f at %s, want >= 1.5", headline.Speedup, headline.Shape)
 	}
 	t.Logf("headline %s: %.2fx blocked-vs-naive, %.1f GFLOP/s (%s backend)",

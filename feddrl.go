@@ -231,9 +231,17 @@ var (
 	// SetKernelPool installs the pool that large tensor kernels fan out
 	// on (nil reverts to sequential); fl.Run calls it automatically.
 	SetKernelPool = tensor.SetParallel
-	// KernelBackend reports the active GEMM micro-kernel ("avx" or
-	// "generic").
+	// KernelBackend reports the active SIMD kernel backend ("avx512",
+	// "avx", "neon" or "generic"); the TENSOR_BACKEND environment
+	// variable overrides the auto-detected default at startup.
 	KernelBackend = tensor.KernelBackend
+	// SetKernelBackend forces a backend from KernelBackends (useful for
+	// benchmarking tiers against each other); it errors on names the
+	// host cannot run. All backends are bit-identical.
+	SetKernelBackend = tensor.SetBackend
+	// KernelBackends lists the active backend's fallback chain, widest
+	// first, always ending in "generic".
+	KernelBackends = tensor.Backends
 )
 
 // DRL agent.

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPriClassMapping pins the (size, depth) → class mapping the
+// scheduler's scan order depends on.
+func TestPriClassMapping(t *testing.T) {
+	cases := []struct{ size, depth, want int }{
+		{SizeCoarse, 0, 0},
+		{SizeCoarse, 5, 0},
+		{SizeFine, 0, 1},
+		{SizeFine, 1, 2},
+		{SizeFine, 3, 2},
+	}
+	for _, c := range cases {
+		if got := priClass(c.size, c.depth); got != c.want {
+			t.Fatalf("priClass(%d, %d) = %d, want %d", c.size, c.depth, got, c.want)
+		}
+	}
+}
+
+// TestGrabPrefersFineEntries is the white-box priority-order check: with
+// no workers running, publish one coarse, one fine-top-level and one
+// fine-nested job, then drain via the thief scan. Entries must come back
+// finest class first regardless of publication order.
+func TestGrabPrefersFineEntries(t *testing.T) {
+	// A bare pool: deques but no worker goroutines, so published entries
+	// stay where announce put them until this test pops them.
+	p := &Pool{workers: 2, notify: make(chan struct{}, 2), quit: make(chan struct{})}
+	for c := range p.deques {
+		p.deques[c] = make([]laneDeque, p.workers)
+	}
+	mk := func(size, depth int) *forJob {
+		return newJob(func(w, i int) {}, 4, 2, priClass(size, depth))
+	}
+	coarse := mk(SizeCoarse, 0)
+	fineTop := mk(SizeFine, 0)
+	fineNested := mk(SizeFine, 1)
+	// Publish coarsest first so FIFO order within a class cannot fake the
+	// expected result.
+	p.announce(coarse, 1)
+	p.announce(fineTop, 1)
+	p.announce(fineNested, 1)
+	for _, want := range []struct {
+		name string
+		job  *forJob
+	}{
+		{"fine-nested", fineNested},
+		{"fine-top", fineTop},
+		{"coarse", coarse},
+	} {
+		if got := p.grabAny(); got != want.job {
+			t.Fatalf("grabAny returned wrong class, want %s entry", want.name)
+		}
+	}
+	if got := p.grabAny(); got != nil {
+		t.Fatal("grabAny returned an entry from drained deques")
+	}
+	// The worker-side scan must honor the same order.
+	p.announce(coarse, 1)
+	p.announce(fineNested, 1)
+	if got := p.grab(1); got != fineNested {
+		t.Fatal("grab did not prefer the fine-nested entry")
+	}
+	if got := p.grab(1); got != coarse {
+		t.Fatal("grab lost the coarse entry")
+	}
+}
+
+// nestedComputeHinted mirrors nestedCompute with the inner fan-out on
+// the hinted fine path, the shape the tensor kernels use (coarse outer
+// grid, SizeFine depth-1 stripes).
+func nestedComputeHinted(p *Pool, outer, inner int) []float64 {
+	out := make([]float64, outer*inner)
+	p.For(outer, func(i int) {
+		cell := make([]float64, inner)
+		lanes := p.Workers()
+		if lanes > inner {
+			lanes = inner
+		}
+		scratch := make([]float64, lanes)
+		p.ForWorkerHinted(inner, SizeFine, 1, func(w, j int) {
+			v := math.Sin(float64(i+1)*0.7+float64(j)*0.3) / float64(j+2)
+			cell[j] = v
+			scratch[w] += v // lane exclusivity: -race is the assertion
+		})
+		acc := 0.0
+		for _, v := range cell {
+			acc += v
+		}
+		for j, v := range cell {
+			out[i*inner+j] = v * (1 + acc)
+		}
+	})
+	return out
+}
+
+// TestHintedNestedDeterminismMatrix extends the saturation determinism
+// gate to the hinted path: hints reorder scheduling, so the results must
+// still be bit-identical to the nil-pool sequential reference at every
+// width.
+func TestHintedNestedDeterminismMatrix(t *testing.T) {
+	const outer, inner = 6, 40
+	want := nestedComputeHinted(nil, outer, inner)
+	plain := nestedCompute(nil, outer, inner)
+	for i := range want {
+		if want[i] != plain[i] {
+			t.Fatalf("hinted sequential reference diverged from plain at %d", i)
+		}
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		p := New(workers)
+		for rep := 0; rep < 3; rep++ {
+			got := nestedComputeHinted(p, outer, inner)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d rep=%d: slot %d = %v, want %v (not bit-identical)",
+						workers, rep, i, got[i], want[i])
+				}
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestHintedLaneBoundUnderStealing is the lane-id contract on the
+// hinted path while coarse churn shares the pool: a small fine job's
+// lane ids stay below n even though its entries live in different
+// deques than the churn's.
+func TestHintedLaneBoundUnderStealing(t *testing.T) {
+	p := New(8)
+	defer p.Close()
+	const n = 3
+	var bad int32
+	stop := make(chan struct{})
+	churn := make(chan struct{})
+	go func() {
+		defer close(churn)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			p.For(16, func(i int) {})
+		}
+	}()
+	for rep := 0; rep < 200; rep++ {
+		p.ForWorkerHinted(n, SizeFine, 1, func(w, i int) {
+			if w < 0 || w >= n {
+				atomic.AddInt32(&bad, 1)
+			}
+		})
+	}
+	close(stop)
+	<-churn
+	if bad != 0 {
+		t.Fatalf("%d tasks of an n=%d hinted job saw a lane id >= n", bad, n)
+	}
+}
+
+// TestStatsFineCounters checks fine-class traffic shows up in the fine
+// counters and stays a subset of the totals.
+func TestStatsFineCounters(t *testing.T) {
+	p := New(4)
+	defer p.Close()
+	p.EnableStats()
+	for rep := 0; rep < 8; rep++ {
+		p.ForWorkerHinted(32, SizeFine, 1, func(w, i int) {})
+		p.ForWorker(32, func(w, i int) {})
+	}
+	s := p.Stats()
+	if s.FineEnqueues == 0 {
+		t.Fatal("fine jobs published no fine-class entries")
+	}
+	if s.FineEnqueues > s.Enqueues {
+		t.Fatalf("FineEnqueues %d exceeds Enqueues %d", s.FineEnqueues, s.Enqueues)
+	}
+	if s.FineSteals > s.Steals {
+		t.Fatalf("FineSteals %d exceeds Steals %d", s.FineSteals, s.Steals)
+	}
+}

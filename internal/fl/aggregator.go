@@ -210,7 +210,10 @@ func AggregateOn(updates []Update, alpha []float64, pool *engine.Pool) []float64
 		mathx.WeightedSum(out, alpha, vecs)
 		return out
 	}
-	pool.For(segs, func(s int) {
+	// Segments are microsecond-scale axpy strips: publish them on the
+	// fine scheduling class so idle lanes drain them before any coarse
+	// grid cells pending in the same deques.
+	pool.ForWorkerHinted(segs, engine.SizeFine, 0, func(_, s int) {
 		lo := s * aggSegment
 		hi := lo + aggSegment
 		if hi > dim {

@@ -279,3 +279,24 @@ func TestEvaluatorWarmEvalAllocFree(t *testing.T) {
 		t.Fatalf("warm client evalLoss allocates %v per run", allocs)
 	}
 }
+
+// TestEvaluatorPooledEvalAllocBound gates the pooled evaluation path:
+// after warm-up, an Eval fanned out over a pool may allocate only the
+// constant-size job bookkeeping (one job header, lane list and
+// completion channel per fan-out) — never per-chunk or per-sample
+// buffers. The bound is deliberately a small constant so a regression
+// that reintroduces per-chunk slicing trips it regardless of dataset
+// size.
+func TestEvaluatorPooledEvalAllocBound(t *testing.T) {
+	tr, _ := tinyData(t, 59)
+	f := tinyFactory(tr.Dim, tr.NumClasses)
+	global := f(3).ParamVector()
+
+	pool := engine.New(2)
+	defer pool.Close()
+	ev := NewEvaluator(f, 4, pool)
+	ev.Eval(global, tr)
+	if allocs := testing.AllocsPerRun(20, func() { ev.Eval(global, tr) }); allocs > 8 {
+		t.Fatalf("warm pooled Evaluator.Eval allocates %v per run, want <= 8 (job bookkeeping only)", allocs)
+	}
+}

@@ -6,7 +6,11 @@
 // paper).
 package mathx
 
-import "math"
+import (
+	"math"
+
+	"feddrl/internal/tensor"
+)
 
 // Softmax returns the softmax of x in a freshly allocated slice. It is
 // numerically stable (shifts by the max) and returns a uniform
@@ -165,21 +169,19 @@ func Dot(a, b []float64) float64 {
 	return sum
 }
 
-// Axpy computes y ← y + alpha*x in place. Lengths must match.
+// Axpy computes y ← y + alpha*x in place through the SIMD-dispatched
+// tensor kernels (bit-identical to the scalar loop). Lengths must match.
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic("mathx: Axpy length mismatch")
 	}
-	for i, v := range x {
-		y[i] += alpha * v
-	}
+	tensor.Axpy(alpha, x, y)
 }
 
-// Scale multiplies x by alpha in place.
+// Scale multiplies x by alpha in place through the SIMD-dispatched
+// tensor kernels.
 func Scale(alpha float64, x []float64) {
-	for i := range x {
-		x[i] *= alpha
-	}
+	tensor.Scale(alpha, x)
 }
 
 // Fill sets every element of x to v.

@@ -84,10 +84,7 @@ func (d *Dense) ForwardScratch(sc *Scratch, id int, x *tensor.Tensor, train bool
 	out := sc.tensor2D(id, 0, x.Rows(), d.Out)
 	tensor.MatMulInto(out, x, d.W)
 	for i := 0; i < out.Rows(); i++ {
-		row := out.Row(i)
-		for j, b := range d.B.Data {
-			row[j] += b
-		}
+		tensor.Add(d.B.Data, out.Row(i))
 	}
 	return out
 }
@@ -109,10 +106,7 @@ func (d *Dense) BackwardScratch(sc *Scratch, id int, grad *tensor.Tensor) *tenso
 	tensor.MatMulATInto(dW, d.lastX, grad)
 	d.dW.AddInPlace(dW)
 	for i := 0; i < grad.Rows(); i++ {
-		row := grad.Row(i)
-		for j, v := range row {
-			d.dB.Data[j] += v
-		}
+		tensor.Add(grad.Row(i), d.dB.Data)
 	}
 	dx := sc.tensor2D(id, 2, grad.Rows(), d.In)
 	tensor.MatMulBTInto(dx, grad, d.W)
@@ -125,8 +119,11 @@ func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.W, d.B} }
 // Grads returns [dW, dB].
 func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.dW, d.dB} }
 
-// ReLU is the rectified linear activation.
-type ReLU struct{ mask []bool }
+// ReLU is the rectified linear activation. Like LeakyReLU it caches the
+// forward input and re-derives the pass-through mask in Backward from
+// the sign of x via the vectorized kernels (tensor.ReLUForward/
+// ReLUBackward), instead of materializing a []bool mask.
+type ReLU struct{ lastX *tensor.Tensor }
 
 // NewReLU returns a ReLU activation layer.
 func NewReLU() *ReLU { return &ReLU{} }
@@ -138,20 +135,9 @@ func (l *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // ForwardScratch is Forward writing into an arena slot.
 func (l *ReLU) ForwardScratch(sc *Scratch, id int, x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.lastX = x
 	out := sc.tensor2D(id, 0, x.Rows(), x.Cols())
-	if cap(l.mask) < len(x.Data) {
-		l.mask = make([]bool, len(x.Data))
-	}
-	l.mask = l.mask[:len(x.Data)]
-	for i, v := range x.Data {
-		if v <= 0 {
-			out.Data[i] = 0
-			l.mask[i] = false
-		} else {
-			out.Data[i] = v
-			l.mask[i] = true
-		}
-	}
+	tensor.ReLUForward(x.Data, out.Data)
 	return out
 }
 
@@ -162,17 +148,11 @@ func (l *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 
 // BackwardScratch is Backward writing into an arena slot.
 func (l *ReLU) BackwardScratch(sc *Scratch, id int, grad *tensor.Tensor) *tensor.Tensor {
-	if len(l.mask) != len(grad.Data) {
+	if l.lastX == nil || len(l.lastX.Data) != len(grad.Data) {
 		panic("nn: ReLU.Backward shape mismatch with Forward")
 	}
 	out := sc.tensor2D(id, 1, grad.Rows(), grad.Cols())
-	for i, v := range grad.Data {
-		if l.mask[i] {
-			out.Data[i] = v
-		} else {
-			out.Data[i] = 0
-		}
-	}
+	tensor.ReLUBackward(l.lastX.Data, grad.Data, out.Data)
 	return out
 }
 
@@ -207,13 +187,7 @@ func (l *LeakyReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 func (l *LeakyReLU) ForwardScratch(sc *Scratch, id int, x *tensor.Tensor, train bool) *tensor.Tensor {
 	l.lastX = x
 	out := sc.tensor2D(id, 0, x.Rows(), x.Cols())
-	for i, v := range x.Data {
-		if v < 0 {
-			out.Data[i] = l.Alpha * v
-		} else {
-			out.Data[i] = v
-		}
-	}
+	tensor.LeakyReLUForward(l.Alpha, x.Data, out.Data)
 	return out
 }
 
@@ -228,13 +202,7 @@ func (l *LeakyReLU) BackwardScratch(sc *Scratch, id int, grad *tensor.Tensor) *t
 		panic("nn: LeakyReLU.Backward shape mismatch with Forward")
 	}
 	out := sc.tensor2D(id, 1, grad.Rows(), grad.Cols())
-	for i, v := range grad.Data {
-		if l.lastX.Data[i] < 0 {
-			out.Data[i] = v * l.Alpha
-		} else {
-			out.Data[i] = v
-		}
-	}
+	tensor.LeakyReLUBackward(l.Alpha, l.lastX.Data, grad.Data, out.Data)
 	return out
 }
 

@@ -3,6 +3,8 @@ package nn
 import (
 	"fmt"
 	"math"
+
+	"feddrl/internal/tensor"
 )
 
 // SGD is stochastic gradient descent with optional momentum, weight decay
@@ -45,6 +47,16 @@ func (o *SGD) Step(n *Network) {
 	}
 	if o.ProxRef != nil && len(o.ProxRef) != n.NumParams() {
 		panic(fmt.Sprintf("nn: SGD proximal reference length %d, want %d", len(o.ProxRef), n.NumParams()))
+	}
+	if o.WeightDecay == 0 && o.Momentum == 0 && (o.ProxRef == nil || o.ProxMu == 0) {
+		// Plain SGD (the paper's local solver) is one axpy per parameter:
+		// p ← p + (−lr)·g. IEEE negation of a product is an exact sign
+		// flip and a−b ≡ a+(−b), so this is bit-identical to the scalar
+		// p −= lr·g loop while running on the SIMD kernels.
+		for i, p := range params {
+			tensor.Axpy(-o.LR, grads[i].Data, p.Data)
+		}
+		return
 	}
 	off := 0
 	for i, p := range params {

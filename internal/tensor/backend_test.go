@@ -1,0 +1,108 @@
+package tensor
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestBackendsChain pins the shape of the fallback chain: the active
+// backend leads, generic terminates, and every listed tier can actually
+// be installed.
+func TestBackendsChain(t *testing.T) {
+	restoreBackend(t)
+	chain := Backends()
+	if len(chain) == 0 || chain[len(chain)-1] != "generic" {
+		t.Fatalf("Backends() = %v, want a chain ending in generic", chain)
+	}
+	if chain[0] != KernelBackend() {
+		t.Fatalf("chain head %q != active backend %q", chain[0], KernelBackend())
+	}
+	for _, bk := range chain {
+		if err := SetBackend(bk); err != nil {
+			t.Fatalf("SetBackend(%q) from own chain: %v", bk, err)
+		}
+		if got := KernelBackend(); got != bk {
+			t.Fatalf("KernelBackend() = %q after SetBackend(%q)", got, bk)
+		}
+		if mr, nr := kernelMR(), kernelNR(); bk == "avx512" && (mr != 8 || nr != 8) || bk != "avx512" && (mr != 4 || nr != 4) {
+			t.Fatalf("backend %q has tile %dx%d", bk, mr, nr)
+		}
+	}
+}
+
+// TestSetBackendRejectsUnknown checks unknown names error out clearly
+// and leave dispatch untouched.
+func TestSetBackendRejectsUnknown(t *testing.T) {
+	before := KernelBackend()
+	err := SetBackend("sse42")
+	if err == nil {
+		t.Fatal("SetBackend(\"sse42\") succeeded, want error")
+	}
+	if !strings.Contains(err.Error(), "unknown backend") || !strings.Contains(err.Error(), "sse42") {
+		t.Fatalf("error %q does not name the unknown backend", err)
+	}
+	if got := KernelBackend(); got != before {
+		t.Fatalf("failed SetBackend changed dispatch: %q -> %q", before, got)
+	}
+}
+
+// TestSetBackendRejectsUnavailable checks a tier the host lacks is
+// refused rather than silently downgraded. Some tier is always missing:
+// no host has both neon and avx.
+func TestSetBackendRejectsUnavailable(t *testing.T) {
+	_, _, hasNEON := detectBackends()
+	missing := "neon"
+	if hasNEON {
+		missing = "avx" // arm64 never has AVX
+	}
+	before := KernelBackend()
+	if err := SetBackend(missing); err == nil {
+		t.Fatalf("SetBackend(%q) succeeded on a host without it", missing)
+	} else if !strings.Contains(err.Error(), "unavailable") {
+		t.Fatalf("error %q does not say unavailable", err)
+	}
+	if got := KernelBackend(); got != before {
+		t.Fatalf("failed SetBackend changed dispatch: %q -> %q", before, got)
+	}
+}
+
+// TestBackendHonorsEnv re-execs the test binary with
+// TENSOR_BACKEND=generic and checks init installed it; when already
+// running under an override (e.g. the verify.sh forced-generic gate) it
+// asserts directly against the environment instead.
+func TestBackendHonorsEnv(t *testing.T) {
+	if v := os.Getenv("TENSOR_BACKEND"); v != "" {
+		if got := KernelBackend(); got != v {
+			t.Fatalf("TENSOR_BACKEND=%s but KernelBackend() = %q", v, got)
+		}
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestBackendHonorsEnv$", "-test.v")
+	cmd.Env = append(os.Environ(), "TENSOR_BACKEND=generic")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("forced-generic subprocess failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "PASS") {
+		t.Fatalf("forced-generic subprocess did not pass:\n%s", out)
+	}
+}
+
+// TestBackendEnvRejectsUnknown re-execs the test binary with a bogus
+// TENSOR_BACKEND and expects a startup failure naming the value.
+func TestBackendEnvRejectsUnknown(t *testing.T) {
+	if os.Getenv("TENSOR_BACKEND") != "" {
+		t.Skip("already under a TENSOR_BACKEND override")
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestBackendsChain$")
+	cmd.Env = append(os.Environ(), "TENSOR_BACKEND=quantum")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("bogus TENSOR_BACKEND did not fail startup:\n%s", out)
+	}
+	if !strings.Contains(string(out), "unknown backend") || !strings.Contains(string(out), "quantum") {
+		t.Fatalf("startup failure does not name the bogus backend:\n%s", out)
+	}
+}

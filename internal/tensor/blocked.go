@@ -4,21 +4,31 @@ package tensor
 // A·Bᵀ) funnel into one cache-blocked, register-tiled kernel:
 //
 //   - The reduction dimension is split into kcBlock panels. For each
-//     panel, B's rows are packed into nrTile-wide column tiles and A's
-//     rows into mrTile-tall row tiles, so the innermost loops stream
+//     panel, B's rows are packed into nr-wide column tiles and A's
+//     rows into mr-tall row tiles, so the innermost loops stream
 //     contiguous memory regardless of the variant's transpose.
-//   - Each mrTile×nrTile output tile is computed by a micro-kernel that
+//   - Each mr×nr output tile is computed by a micro-kernel that
 //     keeps the whole tile in local accumulators across the panel:
-//     mrTile·nrTile multiply-adds per mrTile+nrTile loads, versus the
-//     naive kernel's one load+store of the output element per term.
+//     mr·nr multiply-adds per mr+nr loads, versus the naive kernel's
+//     one load+store of the output element per term.
+//
+// The register-tile geometry (mr, nr) is the active backend's
+// (kernelMR/kernelNR in backend.go): 8×8 for the avx512 kernel, 4×4
+// otherwise. Geometry only regroups which elements are computed
+// together; it cannot affect any element's value (see below).
 //
 // Determinism contract: every output element accumulates its reduction
 // terms in ascending k order into a single accumulator chain — k panels
 // are visited in ascending order and the micro-kernel walks a panel in
 // ascending k — which is exactly the naive triple loop's order. The
 // store/reload of the output tile between panels is exact, so blocked
-// results are bit-identical to the naive kernels (test-enforced across
-// tile-straddling shapes, and gated in scripts/verify.sh).
+// results are bit-identical to the naive kernels on every backend
+// (test-enforced across tile-straddling shapes, and gated in
+// scripts/verify.sh). The scalar kernels spell multiply-adds as
+// acc += float64(a*b): the explicit conversion forces the product to
+// round before the add, which forbids compiler FMA contraction (the
+// arm64 compiler otherwise fuses into FMADD) — a no-op on amd64,
+// keeping generic results bit-identical across GOARCHes.
 //
 // Parallelism: output rows are cut into fixed stripeRows stripes and
 // fanned out on the installed Parallel hook (SetParallel). Stripe
@@ -27,15 +37,17 @@ package tensor
 // pool width, including no pool at all.
 
 const (
-	// mrTile × nrTile is the register tile: 16 accumulators plus the 8
-	// packed operands of one reduction step.
-	mrTile = 4
-	nrTile = 4
+	// mrMax × nrMax bounds the register tile across backends (the
+	// avx512 micro-kernel's 8×8); microEdge sizes its accumulator
+	// array with it.
+	mrMax = 8
+	nrMax = 8
 	// kcBlock is the reduction-panel length; one packed B tile column
-	// (kcBlock·nrTile floats) stays L1-resident while A tiles stream by.
+	// (kcBlock·nr floats) stays L1-resident while A tiles stream by.
 	kcBlock = 256
 	// mcBlock rows of A are packed per inner block (mcBlock·kcBlock
-	// floats ≈ 128 KiB, sized for L2). Must be a multiple of mrTile.
+	// floats ≈ 128 KiB, sized for L2). Must be a multiple of every
+	// backend's mr (4 and 8).
 	mcBlock = 64
 
 	// blockedMinVolume is the m·k·n product below which packing overhead
@@ -48,17 +60,6 @@ const (
 	// stripeRows is the fixed per-task row stripe of the parallel path.
 	stripeRows = 128
 )
-
-// KernelBackend reports which full-tile micro-kernel implementation is
-// active: "avx" (vector, amd64 with OS-enabled AVX) or "generic" (pure
-// Go). Both are bit-identical; only throughput differs. Benchmarks
-// record it so perf expectations can be keyed to the backend.
-func KernelBackend() string {
-	if useAVX {
-		return "avx"
-	}
-	return "generic"
-}
 
 // gemmVariant selects which operand is logically transposed.
 type gemmVariant int
@@ -92,14 +93,15 @@ func gemmInto(dst, a, b *Tensor, v gemmVariant) {
 		return
 	}
 	stripes := (m + stripeRows - 1) / stripeRows
+	mr, nr := kernelMR(), kernelNR()
 	pl := currentParallel()
 	if pl == nil || pl.Workers() <= 1 || stripes < 2 || m*k*n < parallelMinVolume {
 		kc := k
 		if kc > kcBlock {
 			kc = kcBlock
 		}
-		ap := getBuf(apSize(m, kc))
-		bp := getBuf(bpSize(n, kc))
+		ap := getBuf(apSize(m, kc, mr))
+		bp := getBuf(bpSize(n, kc, nr))
 		gemmBlockedRange(dst, a, b, v, 0, m, ap, bp)
 		putBuf(bp)
 		putBuf(ap)
@@ -116,10 +118,10 @@ func gemmInto(dst, a, b *Tensor, v gemmVariant) {
 	aps := make([][]float64, lanes)
 	bps := make([][]float64, lanes)
 	for w := range aps {
-		aps[w] = getBuf(apSize(stripeRows, kc))
-		bps[w] = getBuf(bpSize(n, kc))
+		aps[w] = getBuf(apSize(stripeRows, kc, mr))
+		bps[w] = getBuf(bpSize(n, kc, nr))
 	}
-	pl.ForWorker(stripes, func(w, s int) {
+	forWorkerFine(pl, stripes, func(w, s int) {
 		rs := s * stripeRows
 		re := rs + stripeRows
 		if re > m {
@@ -133,21 +135,21 @@ func gemmInto(dst, a, b *Tensor, v gemmVariant) {
 	}
 }
 
-// apSize returns the packed-A buffer length for a row range of rows and
-// panel length kc.
-func apSize(rows, kc int) int {
+// apSize returns the packed-A buffer length for a row range of rows,
+// panel length kc and register-tile height mr.
+func apSize(rows, kc, mr int) int {
 	if rows > mcBlock {
 		rows = mcBlock
 	}
-	tiles := (rows + mrTile - 1) / mrTile
-	return tiles * mrTile * kc
+	tiles := (rows + mr - 1) / mr
+	return tiles * mr * kc
 }
 
-// bpSize returns the packed-B buffer length for n columns and panel
-// length kc.
-func bpSize(n, kc int) int {
-	tiles := (n + nrTile - 1) / nrTile
-	return tiles * nrTile * kc
+// bpSize returns the packed-B buffer length for n columns, panel length
+// kc and register-tile width nr.
+func bpSize(n, kc, nr int) int {
+	tiles := (n + nr - 1) / nr
+	return tiles * nr * kc
 }
 
 // gemmNaive computes the variant with plain triple loops — the reference
@@ -168,7 +170,7 @@ func gemmNaive(dst, a, b *Tensor, v gemmVariant) {
 			for p, av := range ai {
 				bp := bd[p*n : (p+1)*n]
 				for j, bv := range bp {
-					di[j] += av * bv
+					di[j] += float64(av * bv)
 				}
 			}
 		}
@@ -182,7 +184,7 @@ func gemmNaive(dst, a, b *Tensor, v gemmVariant) {
 			for p, av := range ai {
 				dp := dd[p*n : (p+1)*n]
 				for j, bv := range bi {
-					dp[j] += av * bv
+					dp[j] += float64(av * bv)
 				}
 			}
 		}
@@ -195,7 +197,7 @@ func gemmNaive(dst, a, b *Tensor, v gemmVariant) {
 				bj := bd[j*k : (j+1)*k]
 				sum := 0.0
 				for p, av := range ai {
-					sum += av * bj[p]
+					sum += float64(av * bj[p])
 				}
 				di[j] = sum
 			}
@@ -204,47 +206,54 @@ func gemmNaive(dst, a, b *Tensor, v gemmVariant) {
 }
 
 // gemmBlockedRange runs the blocked kernel over output rows [rs, re).
-// ap and bp are packing scratch sized by apSize/bpSize.
+// ap and bp are packing scratch sized by apSize/bpSize for the active
+// backend's register tile (kernelMR/kernelNR, read once per call).
 func gemmBlockedRange(dst, a, b *Tensor, v gemmVariant, rs, re int, ap, bp []float64) {
 	_, k, n := gemmDims(a, b, v)
+	mr, nr := kernelMR(), kernelNR()
 	dd := dst.Data
-	nTiles := (n + nrTile - 1) / nrTile
+	nTiles := (n + nr - 1) / nr
 	for p0 := 0; p0 < k; p0 += kcBlock {
 		kc := k - p0
 		if kc > kcBlock {
 			kc = kcBlock
 		}
-		packB(bp, b, a, v, p0, kc, n)
+		packB(bp, b, a, v, p0, kc, n, nr)
 		first := p0 == 0
 		for i0 := rs; i0 < re; i0 += mcBlock {
 			ib := re - i0
 			if ib > mcBlock {
 				ib = mcBlock
 			}
-			packA(ap, a, b, v, i0, ib, p0, kc)
-			mTiles := (ib + mrTile - 1) / mrTile
+			packA(ap, a, b, v, i0, ib, p0, kc, mr)
+			mTiles := (ib + mr - 1) / mr
 			for it := 0; it < mTiles; it++ {
-				mv := ib - it*mrTile
-				if mv > mrTile {
-					mv = mrTile
+				mv := ib - it*mr
+				if mv > mr {
+					mv = mr
 				}
-				apTile := ap[it*kc*mrTile:]
-				row0 := i0 + it*mrTile
+				apTile := ap[it*kc*mr:]
+				row0 := i0 + it*mr
 				for jt := 0; jt < nTiles; jt++ {
-					nv := n - jt*nrTile
-					if nv > nrTile {
-						nv = nrTile
+					nv := n - jt*nr
+					if nv > nr {
+						nv = nr
 					}
-					bpTile := bp[jt*kc*nrTile:]
-					c := dd[row0*n+jt*nrTile:]
-					if mv == mrTile && nv == nrTile {
-						if useAVX {
+					bpTile := bp[jt*kc*nr:]
+					c := dd[row0*n+jt*nr:]
+					if mv == mr && nv == nr {
+						switch {
+						case useAVX512:
+							micro8x8avx512(kc, &apTile[0], &bpTile[0], &c[0], n, first)
+						case useAVX:
 							micro4x4avx(kc, &apTile[0], &bpTile[0], &c[0], n, first)
-						} else {
+						case useNEON:
+							microNeon4x4(kc, &apTile[0], &bpTile[0], &c[0], n, first)
+						default:
 							micro4x4(kc, apTile, bpTile, c, n, first)
 						}
 					} else {
-						microEdge(kc, apTile, bpTile, c, n, mv, nv, first)
+						microEdge(kc, apTile, bpTile, c, n, mv, nv, mr, nr, first)
 					}
 				}
 			}
@@ -252,64 +261,64 @@ func gemmBlockedRange(dst, a, b *Tensor, v gemmVariant, rs, re int, ap, bp []flo
 	}
 }
 
-// packB packs the reduction panel [p0, p0+kc) of op(b) into nrTile-wide
-// column tiles: bp[tile*kc*nrTile + p*nrTile + c] = op(b)[p0+p][tile*nrTile+c].
+// packB packs the reduction panel [p0, p0+kc) of op(b) into nr-wide
+// column tiles: bp[tile*kc*nr + p*nr + c] = op(b)[p0+p][tile*nr+c].
 // Slots of a partial edge tile are left unwritten; only microEdge reads
 // that tile and it stays within the valid columns.
-func packB(bp []float64, b, a *Tensor, v gemmVariant, p0, kc, n int) {
+func packB(bp []float64, b, a *Tensor, v gemmVariant, p0, kc, n, nr int) {
 	bd := b.Data
 	switch v {
 	case gemmBT:
 		// op(b)[p][j] = b[j][p]; b is n×k, rows contiguous in p.
 		kPhys := b.Cols()
-		for jt := 0; jt*nrTile < n; jt++ {
-			off := jt * kc * nrTile
-			nv := n - jt*nrTile
-			if nv > nrTile {
-				nv = nrTile
+		for jt := 0; jt*nr < n; jt++ {
+			off := jt * kc * nr
+			nv := n - jt*nr
+			if nv > nr {
+				nv = nr
 			}
 			for c := 0; c < nv; c++ {
-				src := bd[(jt*nrTile+c)*kPhys+p0:]
+				src := bd[(jt*nr+c)*kPhys+p0:]
 				for p := 0; p < kc; p++ {
-					bp[off+p*nrTile+c] = src[p]
+					bp[off+p*nr+c] = src[p]
 				}
 			}
 		}
 	default:
 		// op(b)[p][j] = b[p][j] for both NN and AT.
-		for jt := 0; jt*nrTile < n; jt++ {
-			off := jt * kc * nrTile
-			j0 := jt * nrTile
+		for jt := 0; jt*nr < n; jt++ {
+			off := jt * kc * nr
+			j0 := jt * nr
 			nv := n - j0
-			if nv > nrTile {
-				nv = nrTile
+			if nv > nr {
+				nv = nr
 			}
 			for p := 0; p < kc; p++ {
-				copy(bp[off+p*nrTile:off+p*nrTile+nv], bd[(p0+p)*n+j0:])
+				copy(bp[off+p*nr:off+p*nr+nv], bd[(p0+p)*n+j0:])
 			}
 		}
 	}
 }
 
 // packA packs rows [i0, i0+ib) of op(a) over the reduction panel
-// [p0, p0+kc) into mrTile-tall row tiles:
-// ap[tile*kc*mrTile + p*mrTile + r] = op(a)[tile*mrTile+r][p0+p].
-func packA(ap []float64, a, b *Tensor, v gemmVariant, i0, ib, p0, kc int) {
+// [p0, p0+kc) into mr-tall row tiles:
+// ap[tile*kc*mr + p*mr + r] = op(a)[tile*mr+r][p0+p].
+func packA(ap []float64, a, b *Tensor, v gemmVariant, i0, ib, p0, kc, mr int) {
 	ad := a.Data
 	switch v {
 	case gemmAT:
 		// op(a)[i][p] = a[p][i]; a is k×m, rows contiguous in i.
 		mPhys := a.Cols()
-		for it := 0; it*mrTile < ib; it++ {
-			off := it * kc * mrTile
-			mv := ib - it*mrTile
-			if mv > mrTile {
-				mv = mrTile
+		for it := 0; it*mr < ib; it++ {
+			off := it * kc * mr
+			mv := ib - it*mr
+			if mv > mr {
+				mv = mr
 			}
-			base := i0 + it*mrTile
+			base := i0 + it*mr
 			for p := 0; p < kc; p++ {
 				src := ad[(p0+p)*mPhys+base:]
-				dstRow := ap[off+p*mrTile:]
+				dstRow := ap[off+p*mr:]
 				for r := 0; r < mv; r++ {
 					dstRow[r] = src[r]
 				}
@@ -318,16 +327,16 @@ func packA(ap []float64, a, b *Tensor, v gemmVariant, i0, ib, p0, kc int) {
 	default:
 		// op(a)[i][p] = a[i][p] for both NN and BT.
 		kPhys := a.Cols()
-		for it := 0; it*mrTile < ib; it++ {
-			off := it * kc * mrTile
-			mv := ib - it*mrTile
-			if mv > mrTile {
-				mv = mrTile
+		for it := 0; it*mr < ib; it++ {
+			off := it * kc * mr
+			mv := ib - it*mr
+			if mv > mr {
+				mv = mr
 			}
 			for r := 0; r < mv; r++ {
-				src := ad[(i0+it*mrTile+r)*kPhys+p0:]
+				src := ad[(i0+it*mr+r)*kPhys+p0:]
 				for p := 0; p < kc; p++ {
-					ap[off+p*mrTile+r] = src[p]
+					ap[off+p*mr+r] = src[p]
 				}
 			}
 		}
@@ -355,22 +364,22 @@ func micro4x4(kc int, ap, bp, c []float64, ldc int, first bool) {
 	for p := 0; p < kc; p++ {
 		a0, a1, a2, a3 := ap[p*4], ap[p*4+1], ap[p*4+2], ap[p*4+3]
 		b0, b1, b2, b3 := bp[p*4], bp[p*4+1], bp[p*4+2], bp[p*4+3]
-		c00 += a0 * b0
-		c01 += a0 * b1
-		c02 += a0 * b2
-		c03 += a0 * b3
-		c10 += a1 * b0
-		c11 += a1 * b1
-		c12 += a1 * b2
-		c13 += a1 * b3
-		c20 += a2 * b0
-		c21 += a2 * b1
-		c22 += a2 * b2
-		c23 += a2 * b3
-		c30 += a3 * b0
-		c31 += a3 * b1
-		c32 += a3 * b2
-		c33 += a3 * b3
+		c00 += float64(a0 * b0)
+		c01 += float64(a0 * b1)
+		c02 += float64(a0 * b2)
+		c03 += float64(a0 * b3)
+		c10 += float64(a1 * b0)
+		c11 += float64(a1 * b1)
+		c12 += float64(a1 * b2)
+		c13 += float64(a1 * b3)
+		c20 += float64(a2 * b0)
+		c21 += float64(a2 * b1)
+		c22 += float64(a2 * b2)
+		c23 += float64(a2 * b3)
+		c30 += float64(a3 * b0)
+		c31 += float64(a3 * b1)
+		c32 += float64(a3 * b2)
+		c33 += float64(a3 * b3)
 	}
 	c[0], c[1], c[2], c[3] = c00, c01, c02, c03
 	r1[0], r1[1], r1[2], r1[3] = c10, c11, c12, c13
@@ -379,9 +388,9 @@ func micro4x4(kc int, ap, bp, c []float64, ldc int, first bool) {
 }
 
 // microEdge computes a partial tile of mv×nv valid elements (tile
-// strides in the packed panels stay mrTile/nrTile).
-func microEdge(kc int, ap, bp, c []float64, ldc, mv, nv int, first bool) {
-	var acc [mrTile][nrTile]float64
+// strides in the packed panels stay the backend's mr/nr).
+func microEdge(kc int, ap, bp, c []float64, ldc, mv, nv, mr, nr int, first bool) {
+	var acc [mrMax][nrMax]float64
 	if !first {
 		for r := 0; r < mv; r++ {
 			for j := 0; j < nv; j++ {
@@ -391,9 +400,9 @@ func microEdge(kc int, ap, bp, c []float64, ldc, mv, nv int, first bool) {
 	}
 	for p := 0; p < kc; p++ {
 		for r := 0; r < mv; r++ {
-			av := ap[p*mrTile+r]
+			av := ap[p*mr+r]
 			for j := 0; j < nv; j++ {
-				acc[r][j] += av * bp[p*nrTile+j]
+				acc[r][j] += float64(av * bp[p*nr+j])
 			}
 		}
 	}

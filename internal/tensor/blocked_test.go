@@ -34,21 +34,38 @@ func gemmOperands(v gemmVariant, m, k, n int) (a, b, dst *Tensor) {
 	}
 }
 
+// restoreBackend snapshots the active kernel backend and re-installs it
+// when the test finishes, so tests can walk the fallback chain freely.
+func restoreBackend(t *testing.T) {
+	t.Helper()
+	orig := KernelBackend()
+	t.Cleanup(func() {
+		if err := SetBackend(orig); err != nil {
+			t.Fatalf("restoring backend %q: %v", orig, err)
+		}
+	})
+}
+
 // TestBlockedBitIdentity is the kernel determinism gate (run explicitly
-// by scripts/verify.sh): for all three GEMM variants, the blocked
-// kernel must reproduce the naive triple loop BIT for bit across shapes
-// chosen to straddle every tile and block boundary — 1×1, primes, exact
-// tile multiples, one-off-the-tile, tall/skinny and wide/flat.
+// by scripts/verify.sh, including a TENSOR_BACKEND=generic pass): for
+// all three GEMM variants and every backend in the host's fallback
+// chain (each wider tier force-disabled in turn down to generic), the
+// blocked kernel must reproduce the naive triple loop BIT for bit
+// across shapes chosen to straddle every tile and block boundary —
+// 1×1, primes, exact 4- and 8-wide tile multiples, one-off-the-tile,
+// tall/skinny and wide/flat.
 func TestBlockedBitIdentity(t *testing.T) {
 	shapes := [][3]int{
 		{1, 1, 1},
 		{1, 7, 1},
 		{3, 5, 2},
-		{mrTile, kcBlock, nrTile},
-		{mrTile + 1, kcBlock + 1, nrTile + 1},
-		{mrTile - 1, kcBlock - 1, nrTile - 1},
+		{4, kcBlock, 4},         // exact 4-wide tile, one full k panel
+		{8, kcBlock, 8},         // exact 8-wide (avx512) tile
+		{5, kcBlock + 1, 5},     // one past the 4-wide tile and panel
+		{9, kcBlock + 1, 9},     // one past the 8-wide tile and panel
+		{7, kcBlock - 1, 7},     // one short of the 8-wide tile and panel
 		{13, 17, 11},
-		{mcBlock, 31, nrTile * 3},
+		{mcBlock, 31, 12},
 		{mcBlock + 3, kcBlock*2 + 5, 9},
 		{257, 19, 23},   // tall/skinny, prime rows
 		{5, 23, 129},    // wide/flat
@@ -59,24 +76,16 @@ func TestBlockedBitIdentity(t *testing.T) {
 		name string
 		v    gemmVariant
 	}{{"NN", gemmNN}, {"AT", gemmAT}, {"BT", gemmBT}}
-	micros := []struct {
-		name string
-		avx  bool
-	}{{"go", false}, {"avx", true}}
-	// Capture the host capability before the loop mutates the global.
-	hostAVX := useAVX
-	t.Cleanup(func() { useAVX = hostAVX })
-	covered := 0
-	for _, mk := range micros {
-		if mk.avx && !hostAVX {
-			continue // host has no AVX; the go path is the only path
+	restoreBackend(t)
+	chain := Backends()
+	for _, bk := range chain {
+		if err := SetBackend(bk); err != nil {
+			t.Fatalf("SetBackend(%q): %v", bk, err)
 		}
-		covered++
-		useAVX = mk.avx
 		for _, vt := range variants {
 			for _, sh := range shapes {
 				m, k, n := sh[0], sh[1], sh[2]
-				t.Run(fmt.Sprintf("%s_%s_%dx%dx%d", mk.name, vt.name, m, k, n), func(t *testing.T) {
+				t.Run(fmt.Sprintf("%s_%s_%dx%dx%d", bk, vt.name, m, k, n), func(t *testing.T) {
 					r := rng.New(uint64(m*1000003 + k*1009 + n))
 					a, b, got := gemmOperands(vt.v, m, k, n)
 					fillRandom(a, r)
@@ -90,8 +99,8 @@ func TestBlockedBitIdentity(t *testing.T) {
 					if kc > kcBlock {
 						kc = kcBlock
 					}
-					ap := getBuf(apSize(m, kc))
-					bp := getBuf(bpSize(n, kc))
+					ap := getBuf(apSize(m, kc, kernelMR()))
+					bp := getBuf(bpSize(n, kc, kernelNR()))
 					gemmBlockedRange(got, a, b, vt.v, 0, m, ap, bp)
 					putBuf(bp)
 					putBuf(ap)
@@ -121,8 +130,10 @@ func TestBlockedBitIdentity(t *testing.T) {
 			}
 		}
 	}
-	if hostAVX && covered != 2 {
-		t.Fatalf("AVX host covered %d micro-kernel(s), want both", covered)
+	// The chain always ends at generic, so every wider tier the host (or
+	// the TENSOR_BACKEND override) exposes was also run force-disabled.
+	if chain[len(chain)-1] != "generic" {
+		t.Fatalf("fallback chain %v does not end at generic", chain)
 	}
 }
 
@@ -138,9 +149,11 @@ func (s *stubPool) ForWorker(n int, task func(worker, i int)) {
 }
 
 // TestParallelStripesBitIdentical drives the pool-hook path at several
-// widths and checks the stripe decomposition changes nothing.
+// widths, for every backend in the fallback chain, and checks the
+// stripe decomposition changes nothing.
 func TestParallelStripesBitIdentical(t *testing.T) {
 	defer SetParallel(nil)
+	restoreBackend(t)
 	r := rng.New(7)
 	m, k, n := stripeRows*3+17, 70, 40
 	a, b := New(m, k), New(k, n)
@@ -149,15 +162,21 @@ func TestParallelStripesBitIdentical(t *testing.T) {
 	want := New(m, n)
 	SetParallel(nil)
 	MatMulInto(want, a, b)
-	for _, w := range []int{2, 3, 8} {
-		SetParallel(&stubPool{workers: w})
-		got := New(m, n)
-		MatMulInto(got, a, b)
-		for i := range got.Data {
-			if got.Data[i] != want.Data[i] {
-				t.Fatalf("workers=%d: [%d] = %x, want %x", w, i, got.Data[i], want.Data[i])
+	for _, bk := range Backends() {
+		if err := SetBackend(bk); err != nil {
+			t.Fatalf("SetBackend(%q): %v", bk, err)
+		}
+		for _, w := range []int{2, 3, 8} {
+			SetParallel(&stubPool{workers: w})
+			got := New(m, n)
+			MatMulInto(got, a, b)
+			for i := range got.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("%s workers=%d: [%d] = %x, want %x", bk, w, i, got.Data[i], want.Data[i])
+				}
 			}
 		}
+		SetParallel(nil)
 	}
 }
 
@@ -239,8 +258,8 @@ func benchGEMMPair(b *testing.B, m, k, n int) {
 		if kc > kcBlock {
 			kc = kcBlock
 		}
-		ap := getBuf(apSize(m, kc))
-		bp := getBuf(bpSize(n, kc))
+		ap := getBuf(apSize(m, kc, kernelMR()))
+		bp := getBuf(bpSize(n, kc, kernelNR()))
 		defer putBuf(ap)
 		defer putBuf(bp)
 		b.ResetTimer()

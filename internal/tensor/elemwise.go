@@ -1,0 +1,169 @@
+package tensor
+
+// Vectorized elementwise kernels behind the same backend dispatch as the
+// blocked GEMM (backend.go). Eq. 4 aggregation and SGD updates are
+// Axpy-bound once GEMM is fast, and the activation loops dominate the
+// non-GEMM share of a train step — so all of them get SIMD bodies on
+// amd64 with scalar tails here.
+//
+// Determinism: elementwise ops are per-element independent, so splitting
+// a slice into a vector body and a scalar tail cannot change any
+// element's rounding; each kernel still performs one rounding per
+// multiply and one per add, never fused. The scalar loops spell the
+// multiply as float64(a*b): the explicit conversion forces the product
+// to round to float64 before the add, which by the Go spec forbids the
+// compiler from contracting the pair into a fused multiply-add (the
+// arm64 compiler otherwise emits FMADD) — a no-op on amd64 and the
+// reason generic results are bit-identical across GOARCHes.
+//
+// Aliasing: out may be exactly x (or g) or fully disjoint; partial
+// overlap is not supported.
+
+// Axpy computes y[i] += alpha·x[i] over len(x) elements (len(y) must be
+// at least len(x)).
+func Axpy(alpha float64, x, y []float64) {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	switch {
+	case useAVX512:
+		if v := n &^ 7; v > 0 {
+			axpyAVX512(alpha, &x[0], &y[0], v)
+			i = v
+		}
+	case useAVX:
+		if v := n &^ 3; v > 0 {
+			axpyAVX(alpha, &x[0], &y[0], v)
+			i = v
+		}
+	}
+	for ; i < n; i++ {
+		y[i] += float64(alpha * x[i])
+	}
+}
+
+// Scale computes x[i] *= alpha in place.
+func Scale(alpha float64, x []float64) {
+	n := len(x)
+	i := 0
+	switch {
+	case useAVX512:
+		if v := n &^ 7; v > 0 {
+			scaleAVX512(alpha, &x[0], v)
+			i = v
+		}
+	case useAVX:
+		if v := n &^ 3; v > 0 {
+			scaleAVX(alpha, &x[0], v)
+			i = v
+		}
+	}
+	for ; i < n; i++ {
+		x[i] *= alpha
+	}
+}
+
+// Add computes y[i] += x[i] over len(x) elements.
+func Add(x, y []float64) {
+	n := len(x)
+	y = y[:n]
+	i := 0
+	switch {
+	case useAVX512:
+		if v := n &^ 7; v > 0 {
+			addAVX512(&x[0], &y[0], v)
+			i = v
+		}
+	case useAVX:
+		if v := n &^ 3; v > 0 {
+			addAVX(&x[0], &y[0], v)
+			i = v
+		}
+	}
+	for ; i < n; i++ {
+		y[i] += x[i]
+	}
+}
+
+// ReLUForward computes out[i] = x[i] if x[i] > 0 else 0, keeping NaN
+// inputs (scalar branch semantics: zero only when v <= 0).
+func ReLUForward(x, out []float64) {
+	n := len(x)
+	out = out[:n]
+	i := 0
+	if useAVX || useAVX512 {
+		if v := n &^ 3; v > 0 {
+			reluFwdAVX(&x[0], &out[0], v)
+			i = v
+		}
+	}
+	for ; i < n; i++ {
+		if v := x[i]; v <= 0 {
+			out[i] = 0
+		} else {
+			out[i] = v
+		}
+	}
+}
+
+// ReLUBackward computes out[i] = g[i] if x[i] > 0 else 0, passing the
+// gradient through for NaN x (scalar branch semantics).
+func ReLUBackward(x, g, out []float64) {
+	n := len(x)
+	g, out = g[:n], out[:n]
+	i := 0
+	if useAVX || useAVX512 {
+		if v := n &^ 3; v > 0 {
+			reluBwdAVX(&x[0], &g[0], &out[0], v)
+			i = v
+		}
+	}
+	for ; i < n; i++ {
+		if x[i] <= 0 {
+			out[i] = 0
+		} else {
+			out[i] = g[i]
+		}
+	}
+}
+
+// LeakyReLUForward computes out[i] = alpha·x[i] if x[i] < 0 else x[i]
+// (NaN inputs pass through unscaled, matching the scalar branch).
+func LeakyReLUForward(alpha float64, x, out []float64) {
+	n := len(x)
+	out = out[:n]
+	i := 0
+	if useAVX || useAVX512 {
+		if v := n &^ 3; v > 0 {
+			leakyFwdAVX(alpha, &x[0], &out[0], v)
+			i = v
+		}
+	}
+	for ; i < n; i++ {
+		if v := x[i]; v < 0 {
+			out[i] = float64(alpha * v)
+		} else {
+			out[i] = v
+		}
+	}
+}
+
+// LeakyReLUBackward computes out[i] = alpha·g[i] if x[i] < 0 else g[i].
+func LeakyReLUBackward(alpha float64, x, g, out []float64) {
+	n := len(x)
+	g, out = g[:n], out[:n]
+	i := 0
+	if useAVX || useAVX512 {
+		if v := n &^ 3; v > 0 {
+			leakyBwdAVX(alpha, &x[0], &g[0], &out[0], v)
+			i = v
+		}
+	}
+	for ; i < n; i++ {
+		if x[i] < 0 {
+			out[i] = float64(g[i] * alpha)
+		} else {
+			out[i] = g[i]
+		}
+	}
+}

@@ -6,12 +6,47 @@ package tensor
 // bit plus XGETBV state check). Implemented in micro_amd64.s.
 func cpuHasAVX() bool
 
+// cpuHasAVX512 reports whether the CPU and OS support AVX-512F: OSXSAVE,
+// XCR0 opmask/ZMM state enabled by the OS (mask 0xe6), and the AVX512F
+// CPUID leaf-7 feature bit. Implemented in micro_amd64.s.
+func cpuHasAVX512() bool
+
+// detectBackends probes the host once at init (backend.go): amd64 offers
+// avx512 and avx tiers, never neon.
+func detectBackends() (avx512, avx, neon bool) {
+	avx = cpuHasAVX()
+	avx512 = avx && cpuHasAVX512()
+	return avx512, avx, false
+}
+
 // micro4x4avx is the AVX implementation of the full-tile micro-kernel.
 // It is bit-identical to micro4x4: each lane multiplies then adds with
 // one rounding per operation, never fusing. Implemented in
 // micro_amd64.s.
 func micro4x4avx(kc int, ap, bp, c *float64, ldc int, first bool)
 
-// useAVX gates the vector micro-kernel; tests flip it to cover the
-// pure-Go fallback on AVX hosts.
-var useAVX = cpuHasAVX()
+// micro8x8avx512 is the AVX-512 full-tile micro-kernel: one 8×8 output
+// tile held in eight ZMM accumulators across the packed panel, VMULPD +
+// VADDPD per row (never fused), bit-identical to an 8×8 walk of the
+// scalar kernel. Implemented in micro_amd64.s.
+func micro8x8avx512(kc int, ap, bp, c *float64, ldc int, first bool)
+
+// Elementwise vector bodies (micro_amd64.s). Each processes exactly n
+// elements where the Go wrapper in elemwise.go guarantees n is a
+// positive multiple of the lane width (4 for AVX, 8 for AVX-512) and
+// handles the scalar tail. All are multiply-round/add-round per element,
+// bit-identical to the scalar loops.
+func axpyAVX(alpha float64, x, y *float64, n int)
+func axpyAVX512(alpha float64, x, y *float64, n int)
+func scaleAVX(alpha float64, x *float64, n int)
+func scaleAVX512(alpha float64, x *float64, n int)
+func addAVX(x, y *float64, n int)
+func addAVX512(x, y *float64, n int)
+
+// Activation kernels run 4-wide YMM on both amd64 tiers (the avx512 tier
+// reuses them: activations are bandwidth-bound, so wider vectors buy
+// little, and the NaN-exact compare masks are simplest in one encoding).
+func reluFwdAVX(x, out *float64, n int)
+func reluBwdAVX(x, grad, out *float64, n int)
+func leakyFwdAVX(alpha float64, x, out *float64, n int)
+func leakyBwdAVX(alpha float64, x, grad, out *float64, n int)

@@ -83,3 +83,371 @@ done:
 	VMOVUPD	Y3, (R9)(R8*1)
 	VZEROUPPER
 	RET
+
+// func cpuHasAVX512() bool
+TEXT ·cpuHasAVX512(SB), NOSPLIT, $0-1
+	MOVL	$1, AX
+	XORL	CX, CX
+	CPUID
+	// Need OSXSAVE (ECX bit 27) before XGETBV is meaningful.
+	MOVL	CX, BX
+	ANDL	$(1<<27), BX
+	JZ	no512
+	// XCR0 bits 1,2 (XMM/YMM) and 5,6,7 (opmask, ZMM_Hi256, Hi16_ZMM):
+	// the OS preserves full AVX-512 state.
+	XORL	CX, CX
+	XGETBV
+	ANDL	$0xe6, AX
+	CMPL	AX, $0xe6
+	JNE	no512
+	// CPUID leaf 7 subleaf 0, EBX bit 16: AVX512F.
+	MOVL	$7, AX
+	XORL	CX, CX
+	CPUID
+	ANDL	$(1<<16), BX
+	JZ	no512
+	MOVB	$1, ret+0(FP)
+	RET
+no512:
+	MOVB	$0, ret+0(FP)
+	RET
+
+// func micro8x8avx512(kc int, ap, bp, c *float64, ldc int, first bool)
+//
+// Z0..Z7 hold the eight output rows (8 doubles each) for the whole
+// panel; each k step broadcasts the eight packed A values and issues one
+// VMULPD+VADDPD pair per row against the packed B vector — multiply-
+// round-then-add-round, never fused, so the tile is bit-identical to an
+// 8×8 walk of the scalar kernel. Zeroing uses VEX VXORPD (clears the
+// full ZMM) so only AVX512F encodings are required.
+TEXT ·micro8x8avx512(SB), NOSPLIT, $0-41
+	MOVQ	kc+0(FP), CX
+	MOVQ	ap+8(FP), SI
+	MOVQ	bp+16(FP), DI
+	MOVQ	c+24(FP), DX
+	MOVQ	ldc+32(FP), R8
+	SHLQ	$3, R8              // ldc in bytes
+	LEAQ	(R8)(R8*2), R10     // 3*ldc bytes
+	LEAQ	(DX)(R8*4), R9      // &c[4*ldc]
+	MOVBLZX	first+40(FP), AX
+	TESTB	AL, AL
+	JZ	load8
+	VXORPD	Y0, Y0, Y0
+	VXORPD	Y1, Y1, Y1
+	VXORPD	Y2, Y2, Y2
+	VXORPD	Y3, Y3, Y3
+	VXORPD	Y4, Y4, Y4
+	VXORPD	Y5, Y5, Y5
+	VXORPD	Y6, Y6, Y6
+	VXORPD	Y7, Y7, Y7
+	JMP	kloop8
+load8:
+	VMOVUPD	(DX), Z0
+	VMOVUPD	(DX)(R8*1), Z1
+	VMOVUPD	(DX)(R8*2), Z2
+	VMOVUPD	(DX)(R10*1), Z3
+	VMOVUPD	(R9), Z4
+	VMOVUPD	(R9)(R8*1), Z5
+	VMOVUPD	(R9)(R8*2), Z6
+	VMOVUPD	(R9)(R10*1), Z7
+	// k loop unrolled ×2 (same ascending-k operation order, so results
+	// are unchanged); odd kc finishes with a single step. The second
+	// step uses its own temporaries (Z17..Z25) so the two halves can
+	// issue independently.
+kloop8:
+	CMPQ	CX, $2
+	JLT	ktail8
+	VMOVUPD	(DI), Z8
+	VBROADCASTSD	(SI), Z9
+	VBROADCASTSD	8(SI), Z10
+	VBROADCASTSD	16(SI), Z11
+	VBROADCASTSD	24(SI), Z12
+	VBROADCASTSD	32(SI), Z13
+	VBROADCASTSD	40(SI), Z14
+	VBROADCASTSD	48(SI), Z15
+	VBROADCASTSD	56(SI), Z16
+	VMULPD	Z8, Z9, Z9
+	VADDPD	Z9, Z0, Z0
+	VMULPD	Z8, Z10, Z10
+	VADDPD	Z10, Z1, Z1
+	VMULPD	Z8, Z11, Z11
+	VADDPD	Z11, Z2, Z2
+	VMULPD	Z8, Z12, Z12
+	VADDPD	Z12, Z3, Z3
+	VMULPD	Z8, Z13, Z13
+	VADDPD	Z13, Z4, Z4
+	VMULPD	Z8, Z14, Z14
+	VADDPD	Z14, Z5, Z5
+	VMULPD	Z8, Z15, Z15
+	VADDPD	Z15, Z6, Z6
+	VMULPD	Z8, Z16, Z16
+	VADDPD	Z16, Z7, Z7
+	VMOVUPD	64(DI), Z17
+	VBROADCASTSD	64(SI), Z18
+	VBROADCASTSD	72(SI), Z19
+	VBROADCASTSD	80(SI), Z20
+	VBROADCASTSD	88(SI), Z21
+	VBROADCASTSD	96(SI), Z22
+	VBROADCASTSD	104(SI), Z23
+	VBROADCASTSD	112(SI), Z24
+	VBROADCASTSD	120(SI), Z25
+	VMULPD	Z17, Z18, Z18
+	VADDPD	Z18, Z0, Z0
+	VMULPD	Z17, Z19, Z19
+	VADDPD	Z19, Z1, Z1
+	VMULPD	Z17, Z20, Z20
+	VADDPD	Z20, Z2, Z2
+	VMULPD	Z17, Z21, Z21
+	VADDPD	Z21, Z3, Z3
+	VMULPD	Z17, Z22, Z22
+	VADDPD	Z22, Z4, Z4
+	VMULPD	Z17, Z23, Z23
+	VADDPD	Z23, Z5, Z5
+	VMULPD	Z17, Z24, Z24
+	VADDPD	Z24, Z6, Z6
+	VMULPD	Z17, Z25, Z25
+	VADDPD	Z25, Z7, Z7
+	ADDQ	$128, SI
+	ADDQ	$128, DI
+	SUBQ	$2, CX
+	JMP	kloop8
+ktail8:
+	TESTQ	CX, CX
+	JZ	done8
+	VMOVUPD	(DI), Z8
+	VBROADCASTSD	(SI), Z9
+	VBROADCASTSD	8(SI), Z10
+	VBROADCASTSD	16(SI), Z11
+	VBROADCASTSD	24(SI), Z12
+	VBROADCASTSD	32(SI), Z13
+	VBROADCASTSD	40(SI), Z14
+	VBROADCASTSD	48(SI), Z15
+	VBROADCASTSD	56(SI), Z16
+	VMULPD	Z8, Z9, Z9
+	VADDPD	Z9, Z0, Z0
+	VMULPD	Z8, Z10, Z10
+	VADDPD	Z10, Z1, Z1
+	VMULPD	Z8, Z11, Z11
+	VADDPD	Z11, Z2, Z2
+	VMULPD	Z8, Z12, Z12
+	VADDPD	Z12, Z3, Z3
+	VMULPD	Z8, Z13, Z13
+	VADDPD	Z13, Z4, Z4
+	VMULPD	Z8, Z14, Z14
+	VADDPD	Z14, Z5, Z5
+	VMULPD	Z8, Z15, Z15
+	VADDPD	Z15, Z6, Z6
+	VMULPD	Z8, Z16, Z16
+	VADDPD	Z16, Z7, Z7
+done8:
+	VMOVUPD	Z0, (DX)
+	VMOVUPD	Z1, (DX)(R8*1)
+	VMOVUPD	Z2, (DX)(R8*2)
+	VMOVUPD	Z3, (DX)(R10*1)
+	VMOVUPD	Z4, (R9)
+	VMOVUPD	Z5, (R9)(R8*1)
+	VMOVUPD	Z6, (R9)(R8*2)
+	VMOVUPD	Z7, (R9)(R10*1)
+	VZEROUPPER
+	RET
+
+// Elementwise vector bodies. n is a positive multiple of the lane width
+// (wrappers in elemwise.go enforce it and run the scalar tail). Every
+// kernel is multiply-round-then-add-round per element — bit-identical
+// to the scalar loops.
+
+// func axpyAVX(alpha float64, x, y *float64, n int)
+TEXT ·axpyAVX(SB), NOSPLIT, $0-32
+	VBROADCASTSD	alpha+0(FP), Y0
+	MOVQ	x+8(FP), SI
+	MOVQ	y+16(FP), DI
+	MOVQ	n+24(FP), CX
+axloop:
+	VMOVUPD	(SI), Y1
+	VMOVUPD	(DI), Y2
+	VMULPD	Y0, Y1, Y1
+	VADDPD	Y1, Y2, Y2
+	VMOVUPD	Y2, (DI)
+	ADDQ	$32, SI
+	ADDQ	$32, DI
+	SUBQ	$4, CX
+	JNZ	axloop
+	VZEROUPPER
+	RET
+
+// func axpyAVX512(alpha float64, x, y *float64, n int)
+TEXT ·axpyAVX512(SB), NOSPLIT, $0-32
+	VBROADCASTSD	alpha+0(FP), Z0
+	MOVQ	x+8(FP), SI
+	MOVQ	y+16(FP), DI
+	MOVQ	n+24(FP), CX
+ax5loop:
+	VMOVUPD	(SI), Z1
+	VMOVUPD	(DI), Z2
+	VMULPD	Z0, Z1, Z1
+	VADDPD	Z1, Z2, Z2
+	VMOVUPD	Z2, (DI)
+	ADDQ	$64, SI
+	ADDQ	$64, DI
+	SUBQ	$8, CX
+	JNZ	ax5loop
+	VZEROUPPER
+	RET
+
+// func scaleAVX(alpha float64, x *float64, n int)
+TEXT ·scaleAVX(SB), NOSPLIT, $0-24
+	VBROADCASTSD	alpha+0(FP), Y0
+	MOVQ	x+8(FP), SI
+	MOVQ	n+16(FP), CX
+scloop:
+	VMOVUPD	(SI), Y1
+	VMULPD	Y0, Y1, Y1
+	VMOVUPD	Y1, (SI)
+	ADDQ	$32, SI
+	SUBQ	$4, CX
+	JNZ	scloop
+	VZEROUPPER
+	RET
+
+// func scaleAVX512(alpha float64, x *float64, n int)
+TEXT ·scaleAVX512(SB), NOSPLIT, $0-24
+	VBROADCASTSD	alpha+0(FP), Z0
+	MOVQ	x+8(FP), SI
+	MOVQ	n+16(FP), CX
+sc5loop:
+	VMOVUPD	(SI), Z1
+	VMULPD	Z0, Z1, Z1
+	VMOVUPD	Z1, (SI)
+	ADDQ	$64, SI
+	SUBQ	$8, CX
+	JNZ	sc5loop
+	VZEROUPPER
+	RET
+
+// func addAVX(x, y *float64, n int)
+TEXT ·addAVX(SB), NOSPLIT, $0-24
+	MOVQ	x+0(FP), SI
+	MOVQ	y+8(FP), DI
+	MOVQ	n+16(FP), CX
+adloop:
+	VMOVUPD	(SI), Y1
+	VMOVUPD	(DI), Y2
+	VADDPD	Y1, Y2, Y2
+	VMOVUPD	Y2, (DI)
+	ADDQ	$32, SI
+	ADDQ	$32, DI
+	SUBQ	$4, CX
+	JNZ	adloop
+	VZEROUPPER
+	RET
+
+// func addAVX512(x, y *float64, n int)
+TEXT ·addAVX512(SB), NOSPLIT, $0-24
+	MOVQ	x+0(FP), SI
+	MOVQ	y+8(FP), DI
+	MOVQ	n+16(FP), CX
+ad5loop:
+	VMOVUPD	(SI), Z1
+	VMOVUPD	(DI), Z2
+	VADDPD	Z1, Z2, Z2
+	VMOVUPD	Z2, (DI)
+	ADDQ	$64, SI
+	ADDQ	$64, DI
+	SUBQ	$8, CX
+	JNZ	ad5loop
+	VZEROUPPER
+	RET
+
+// Activation kernels. The compare masks mirror the scalar branch
+// semantics exactly, including NaN: ReLU keeps v when !(v <= 0) —
+// predicate NLE_US (6), unordered→true — and LeakyReLU scales when
+// v < 0 — predicate LT_OS (1), unordered→false — so NaN inputs flow
+// through bit-identically to the scalar code.
+
+// func reluFwdAVX(x, out *float64, n int)
+TEXT ·reluFwdAVX(SB), NOSPLIT, $0-24
+	MOVQ	x+0(FP), SI
+	MOVQ	out+8(FP), DI
+	MOVQ	n+16(FP), CX
+	VXORPD	Y0, Y0, Y0
+rfloop:
+	VMOVUPD	(SI), Y1
+	VCMPPD	$6, Y0, Y1, Y2      // !(v <= 0), NaN→keep
+	VANDPD	Y2, Y1, Y1
+	VMOVUPD	Y1, (DI)
+	ADDQ	$32, SI
+	ADDQ	$32, DI
+	SUBQ	$4, CX
+	JNZ	rfloop
+	VZEROUPPER
+	RET
+
+// func reluBwdAVX(x, grad, out *float64, n int)
+TEXT ·reluBwdAVX(SB), NOSPLIT, $0-32
+	MOVQ	x+0(FP), SI
+	MOVQ	grad+8(FP), DX
+	MOVQ	out+16(FP), DI
+	MOVQ	n+24(FP), CX
+	VXORPD	Y0, Y0, Y0
+rbloop:
+	VMOVUPD	(SI), Y1
+	VMOVUPD	(DX), Y3
+	VCMPPD	$6, Y0, Y1, Y2      // !(x <= 0), NaN→pass gradient
+	VANDPD	Y2, Y3, Y3
+	VMOVUPD	Y3, (DI)
+	ADDQ	$32, SI
+	ADDQ	$32, DX
+	ADDQ	$32, DI
+	SUBQ	$4, CX
+	JNZ	rbloop
+	VZEROUPPER
+	RET
+
+// func leakyFwdAVX(alpha float64, x, out *float64, n int)
+TEXT ·leakyFwdAVX(SB), NOSPLIT, $0-32
+	VBROADCASTSD	alpha+0(FP), Y0
+	MOVQ	x+8(FP), SI
+	MOVQ	out+16(FP), DI
+	MOVQ	n+24(FP), CX
+	VXORPD	Y1, Y1, Y1
+lfloop:
+	VMOVUPD	(SI), Y2
+	VMULPD	Y0, Y2, Y3          // alpha·v (one rounding)
+	VCMPPD	$1, Y1, Y2, Y4      // v < 0 (LT_OS, NaN→false)
+	VCMPPD	$5, Y1, Y2, Y5      // !(v < 0) (NLT_US, NaN→true)
+	VANDPD	Y4, Y3, Y3
+	VANDPD	Y5, Y2, Y2
+	VORPD	Y3, Y2, Y2
+	VMOVUPD	Y2, (DI)
+	ADDQ	$32, SI
+	ADDQ	$32, DI
+	SUBQ	$4, CX
+	JNZ	lfloop
+	VZEROUPPER
+	RET
+
+// func leakyBwdAVX(alpha float64, x, grad, out *float64, n int)
+TEXT ·leakyBwdAVX(SB), NOSPLIT, $0-40
+	VBROADCASTSD	alpha+0(FP), Y0
+	MOVQ	x+8(FP), SI
+	MOVQ	grad+16(FP), DX
+	MOVQ	out+24(FP), DI
+	MOVQ	n+32(FP), CX
+	VXORPD	Y1, Y1, Y1
+lbloop:
+	VMOVUPD	(SI), Y2            // x
+	VMOVUPD	(DX), Y3            // g
+	VMULPD	Y0, Y3, Y4          // g·alpha (one rounding)
+	VCMPPD	$1, Y1, Y2, Y5      // x < 0
+	VCMPPD	$5, Y1, Y2, Y6      // !(x < 0)
+	VANDPD	Y5, Y4, Y4
+	VANDPD	Y6, Y3, Y3
+	VORPD	Y4, Y3, Y3
+	VMOVUPD	Y3, (DI)
+	ADDQ	$32, SI
+	ADDQ	$32, DX
+	ADDQ	$32, DI
+	SUBQ	$4, CX
+	JNZ	lbloop
+	VZEROUPPER
+	RET

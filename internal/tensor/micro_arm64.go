@@ -1,0 +1,17 @@
+//go:build arm64
+
+package tensor
+
+// detectBackends on arm64: ASIMD (NEON) is architecturally baseline, so
+// the 2-wide kernel is always safe; the amd64 tiers never apply.
+func detectBackends() (avx512, avx, neon bool) {
+	return false, false, true
+}
+
+// microNeon4x4 is the NEON implementation of the full-tile micro-kernel:
+// one 4×4 output tile in eight float64x2 accumulators. The vector
+// multiply and add are hand-encoded unfused FMUL/FADD (the Go arm64
+// assembler only exposes the fused VFMLA), so each element still rounds
+// once per multiply and once per add — bit-identical to micro4x4.
+// Implemented in micro_arm64.s.
+func microNeon4x4(kc int, ap, bp, c *float64, ldc int, first bool)

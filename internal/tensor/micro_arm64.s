@@ -1,0 +1,80 @@
+// NEON micro-kernel for the blocked GEMM (see blocked.go). One 4×4
+// output tile lives in eight float64x2 accumulators (V0..V7: row r in
+// V(2r)/V(2r+1)) across the packed panel. The Go arm64 assembler only
+// exposes fused vector multiply-adds (VFMLA), which round once and would
+// break the bit-identity contract, so the unfused two-operand FMUL/FADD
+// vector forms are hand-encoded as WORDs:
+//
+//	FMUL Vd.2D, Vn.2D, Vm.2D = 0x6E60DC00 | Vm<<16 | Vn<<5 | Vd
+//	FADD Vd.2D, Vn.2D, Vm.2D = 0x4E60D400 | Vm<<16 | Vn<<5 | Vd
+//
+// (encodings verified against go tool objdump). Each k step loads the
+// packed B pair into V16/V17, broadcasts the four packed A values into
+// V20..V23, and issues multiply-round (into V24/V25) then add-round per
+// row — exactly the scalar kernel's per-element semantics.
+
+#include "textflag.h"
+
+// func microNeon4x4(kc int, ap, bp, c *float64, ldc int, first bool)
+TEXT ·microNeon4x4(SB), NOSPLIT, $0-41
+	MOVD	kc+0(FP), R0
+	MOVD	ap+8(FP), R1
+	MOVD	bp+16(FP), R2
+	MOVD	c+24(FP), R3
+	MOVD	ldc+32(FP), R4
+	LSL	$3, R4, R4          // ldc in bytes
+	ADD	R4, R3, R5          // &c[ldc]
+	ADD	R4, R5, R6          // &c[2*ldc]
+	ADD	R4, R6, R7          // &c[3*ldc]
+	MOVBU	first+40(FP), R8
+	CBZ	R8, load
+	VEOR	V0.B16, V0.B16, V0.B16
+	VEOR	V1.B16, V1.B16, V1.B16
+	VEOR	V2.B16, V2.B16, V2.B16
+	VEOR	V3.B16, V3.B16, V3.B16
+	VEOR	V4.B16, V4.B16, V4.B16
+	VEOR	V5.B16, V5.B16, V5.B16
+	VEOR	V6.B16, V6.B16, V6.B16
+	VEOR	V7.B16, V7.B16, V7.B16
+	B	kloop
+load:
+	VLD1	(R3), [V0.D2, V1.D2]
+	VLD1	(R5), [V2.D2, V3.D2]
+	VLD1	(R6), [V4.D2, V5.D2]
+	VLD1	(R7), [V6.D2, V7.D2]
+kloop:
+	CBZ	R0, done
+	VLD1.P	32(R2), [V16.D2, V17.D2]  // bp[0:2], bp[2:4]
+	VLD1.P	32(R1), [V18.D2, V19.D2]  // ap[0:2], ap[2:4]
+	VDUP	V18.D[0], V20.D2          // broadcast a0
+	VDUP	V18.D[1], V21.D2          // broadcast a1
+	VDUP	V19.D[0], V22.D2          // broadcast a2
+	VDUP	V19.D[1], V23.D2          // broadcast a3
+	// row 0: V0 += a0·b[0:2], V1 += a0·b[2:4]
+	WORD	$0x6E74DE18               // FMUL V24.2D, V16.2D, V20.2D
+	WORD	$0x4E78D400               // FADD V0.2D, V0.2D, V24.2D
+	WORD	$0x6E74DE39               // FMUL V25.2D, V17.2D, V20.2D
+	WORD	$0x4E79D421               // FADD V1.2D, V1.2D, V25.2D
+	// row 1
+	WORD	$0x6E75DE18               // FMUL V24.2D, V16.2D, V21.2D
+	WORD	$0x4E78D442               // FADD V2.2D, V2.2D, V24.2D
+	WORD	$0x6E75DE39               // FMUL V25.2D, V17.2D, V21.2D
+	WORD	$0x4E79D463               // FADD V3.2D, V3.2D, V25.2D
+	// row 2
+	WORD	$0x6E76DE18               // FMUL V24.2D, V16.2D, V22.2D
+	WORD	$0x4E78D484               // FADD V4.2D, V4.2D, V24.2D
+	WORD	$0x6E76DE39               // FMUL V25.2D, V17.2D, V22.2D
+	WORD	$0x4E79D4A5               // FADD V5.2D, V5.2D, V25.2D
+	// row 3
+	WORD	$0x6E77DE18               // FMUL V24.2D, V16.2D, V23.2D
+	WORD	$0x4E78D4C6               // FADD V6.2D, V6.2D, V24.2D
+	WORD	$0x6E77DE39               // FMUL V25.2D, V17.2D, V23.2D
+	WORD	$0x4E79D4E7               // FADD V7.2D, V7.2D, V25.2D
+	SUB	$1, R0, R0
+	B	kloop
+done:
+	VST1	[V0.D2, V1.D2], (R3)
+	VST1	[V2.D2, V3.D2], (R5)
+	VST1	[V4.D2, V5.D2], (R6)
+	VST1	[V6.D2, V7.D2], (R7)
+	RET

@@ -1,0 +1,53 @@
+//go:build !amd64
+
+package tensor
+
+// amd64 vector kernels are never called when useAVX512/useAVX are false.
+
+func micro4x4avx(kc int, ap, bp, c *float64, ldc int, first bool) {
+	panic("tensor: AVX micro-kernel called on non-amd64")
+}
+
+func micro8x8avx512(kc int, ap, bp, c *float64, ldc int, first bool) {
+	panic("tensor: AVX-512 micro-kernel called on non-amd64")
+}
+
+func axpyAVX(alpha float64, x, y *float64, n int) {
+	panic("tensor: AVX kernel called on non-amd64")
+}
+
+func axpyAVX512(alpha float64, x, y *float64, n int) {
+	panic("tensor: AVX-512 kernel called on non-amd64")
+}
+
+func scaleAVX(alpha float64, x *float64, n int) {
+	panic("tensor: AVX kernel called on non-amd64")
+}
+
+func scaleAVX512(alpha float64, x *float64, n int) {
+	panic("tensor: AVX-512 kernel called on non-amd64")
+}
+
+func addAVX(x, y *float64, n int) {
+	panic("tensor: AVX kernel called on non-amd64")
+}
+
+func addAVX512(x, y *float64, n int) {
+	panic("tensor: AVX-512 kernel called on non-amd64")
+}
+
+func reluFwdAVX(x, out *float64, n int) {
+	panic("tensor: AVX kernel called on non-amd64")
+}
+
+func reluBwdAVX(x, grad, out *float64, n int) {
+	panic("tensor: AVX kernel called on non-amd64")
+}
+
+func leakyFwdAVX(alpha float64, x, out *float64, n int) {
+	panic("tensor: AVX kernel called on non-amd64")
+}
+
+func leakyBwdAVX(alpha float64, x, grad, out *float64, n int) {
+	panic("tensor: AVX kernel called on non-amd64")
+}

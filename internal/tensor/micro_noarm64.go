@@ -1,0 +1,8 @@
+//go:build !arm64
+
+package tensor
+
+// microNeon4x4 is never called when useNEON is false.
+func microNeon4x4(kc int, ap, bp, c *float64, ldc int, first bool) {
+	panic("tensor: NEON micro-kernel called on non-arm64")
+}

@@ -1,0 +1,8 @@
+//go:build !amd64 && !arm64
+
+package tensor
+
+// detectBackends on architectures without a vector kernel: generic only.
+func detectBackends() (avx512, avx, neon bool) {
+	return false, false, false
+}

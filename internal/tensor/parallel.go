@@ -43,6 +43,29 @@ func ClearParallel(p Parallel) {
 	}
 }
 
+// parallelHinted is the optional steal-aware extension of Parallel
+// (satisfied by *engine.Pool): ForWorkerHinted carries a size class
+// (0 coarse, 1 fine) and nesting depth so microsecond-scale kernel
+// fan-outs are scheduled ahead of stolen millisecond-scale outer tasks.
+// Declared structurally to keep the tensor→engine dependency inverted.
+type parallelHinted interface {
+	ForWorkerHinted(n, size, depth int, task func(worker, i int))
+}
+
+// forWorkerFine fans a kernel loop out with the fine-grained, nested
+// hint (size 1, depth 1: GEMM stripes always run under an outer task —
+// a grid cell, round loop or evaluator chunk) when the pool supports
+// hints, and falls back to the plain contract otherwise. Hints only
+// affect scheduling order, never the index→task mapping, so results
+// stay bit-identical.
+func forWorkerFine(pl Parallel, n int, task func(worker, i int)) {
+	if h, ok := pl.(parallelHinted); ok {
+		h.ForWorkerHinted(n, 1, 1, task)
+		return
+	}
+	pl.ForWorker(n, task)
+}
+
 // currentParallel returns the installed hook, or nil for sequential.
 // A hook whose pool reports itself closed counts as absent: kernels
 // fall back to the sequential path instead of publishing entries no

@@ -137,31 +137,28 @@ func (t *Tensor) SameShape(o *Tensor) bool {
 	return true
 }
 
-// AddInPlace computes t ← t + o. Shapes must match.
+// AddInPlace computes t ← t + o through the vectorized elementwise
+// kernels (elemwise.go). Shapes must match.
 func (t *Tensor) AddInPlace(o *Tensor) {
 	if !t.SameShape(o) {
 		panic(fmt.Sprintf("tensor: AddInPlace shape mismatch %v vs %v", t.Shape, o.Shape))
 	}
-	for i, v := range o.Data {
-		t.Data[i] += v
-	}
+	Add(o.Data, t.Data)
 }
 
-// ScaleInPlace computes t ← alpha * t.
+// ScaleInPlace computes t ← alpha * t through the vectorized elementwise
+// kernels.
 func (t *Tensor) ScaleInPlace(alpha float64) {
-	for i := range t.Data {
-		t.Data[i] *= alpha
-	}
+	Scale(alpha, t.Data)
 }
 
-// AxpyInPlace computes t ← t + alpha * o. Shapes must match.
+// AxpyInPlace computes t ← t + alpha * o through the vectorized
+// elementwise kernels. Shapes must match.
 func (t *Tensor) AxpyInPlace(alpha float64, o *Tensor) {
 	if !t.SameShape(o) {
 		panic(fmt.Sprintf("tensor: AxpyInPlace shape mismatch %v vs %v", t.Shape, o.Shape))
 	}
-	for i, v := range o.Data {
-		t.Data[i] += alpha * v
-	}
+	Axpy(alpha, o.Data, t.Data)
 }
 
 // MatMul returns a·b for 2-D tensors a (m×k) and b (k×n).

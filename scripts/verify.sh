@@ -30,13 +30,19 @@ go test -short -run 'FuzzParseCellKey|TestCellKeyPropertyRoundTrip' ./internal/e
 # above and emitted into BENCH_engine.json by `make bench-smoke`.
 go test -race -run 'TestVirtualMatchesEagerBitIdentical|TestRunVirtualDuplicateSelection|TestClientPoolSkipsEmptyShards|TestRunVirtualMillionClients|TestSingleSetHonorsWorkers|TestEvaluatorWarmEvalAllocFree' ./internal/fl/
 
-# Compute-kernel gates: the blocked/register-tiled GEMM kernels (both
-# the AVX and pure-Go micro-kernels, all three transpose variants, and
-# the pool-hook stripe fan-out) must be BIT-identical to the naive
-# reference loops, and a warm arena-backed train step (dense and conv
-# stacks) must perform zero heap allocations.
-go test -run 'TestBlockedBitIdentity|TestParallelStripesBitIdentical|TestKernelScratchReuse' ./internal/tensor/
+# Compute-kernel gates: the blocked/register-tiled GEMM kernels (every
+# backend in the host's fallback chain — avx512/avx/neon and pure-Go —
+# all three transpose variants, and the pool-hook stripe fan-out) must
+# be BIT-identical to the naive reference loops, same for the SIMD
+# elementwise kernels, and a warm arena-backed train step (dense and
+# conv stacks) must perform zero heap allocations.
+go test -run 'TestBlockedBitIdentity|TestParallelStripesBitIdentical|TestKernelScratchReuse|TestElemwiseBitIdentity|TestBackendsChain' ./internal/tensor/
 go test -run 'TestTrainStepAllocsDense|TestTrainStepAllocsConv|TestScratchPathMatchesPlain' ./internal/nn/
+
+# Forced-generic gate: the same bit-identity suites with every SIMD
+# tier disabled via the TENSOR_BACKEND override, proving the pure-Go
+# kernels stand alone (and that the override is honored end to end).
+TENSOR_BACKEND=generic go test -run 'TestBlockedBitIdentity|TestElemwiseBitIdentity|TestParallelStripesBitIdentical|TestBackendHonorsEnv' ./internal/tensor/
 
 # Shard-merge round trip: running Table 3 as two shards and merging the
 # artifact files must reproduce the unsharded output byte for byte
