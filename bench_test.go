@@ -282,6 +282,118 @@ func BenchmarkEngineRoundLoopWorkersMax(b *testing.B) {
 	benchmarkEngineRoundLoop(b, runtime.GOMAXPROCS(0))
 }
 
+// --- Async round engine benchmark -------------------------------------
+
+// asyncBenchFixture builds the virtual federation the async round-engine
+// benchmark runs over: the engine fixture's dataset striped cyclically
+// across 1000 client identities, K=8. The pool is rebuilt per
+// measurement because ClientPool state (RNG snapshots, losses) persists
+// across runs.
+func asyncBenchFixture() (cfg RunConfig, mkPool func() *ClientPool) {
+	spec := MNISTSim().Scaled(0.2)
+	train, _ := Synthesize(spec, 1)
+	factory := MLPFactory(train.Dim, []int{48}, train.NumClasses)
+	cfg = RunConfig{
+		Rounds: 3, K: 8,
+		Local:   LocalConfig{Epochs: 1, Batch: 10, LR: 0.03},
+		Factory: factory, Seed: 3, Workers: 4,
+	}
+	mkPool = func() *ClientPool {
+		return NewClientPool(train, CyclicPartition{N: train.N, Per: 8, Clients: 1000}, factory, 7)
+	}
+	return cfg, mkPool
+}
+
+// asyncBenchTrace is the straggler trace the benchmark's traced variant
+// runs under: half the identities 8× slow, sub-K aggregation threshold,
+// staleness decay — the configuration that exercises the event queue,
+// redispatch and reweighting machinery.
+func asyncBenchTrace(cfg RunConfig) AsyncConfig {
+	return AsyncConfig{
+		RunConfig: cfg,
+		Arrival: TraceArrivals{
+			Seed: 7, BaseDelay: 0.5, Jitter: 0.3,
+			StragglerFrac: 0.5, StragglerFactor: 8,
+		},
+		StalenessDecay: 0.5,
+		AggregateEvery: cfg.K / 2,
+	}
+}
+
+// BenchmarkEngineRoundLoopAsync is the bench-smoke entry for the async
+// engine (the name matches the EngineRoundLoop pattern, so `make
+// bench-smoke` picks it up); the JSON record comes from
+// TestEngineBenchJSON.
+func BenchmarkEngineRoundLoopAsync(b *testing.B) {
+	cfg, mkPool := asyncBenchFixture()
+	acfg := asyncBenchTrace(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cp := mkPool()
+		b.StartTimer()
+		_ = RunAsync(acfg, cp, nil, FedAvg{})
+	}
+}
+
+// asyncRoundJSON is the BENCH_engine.json record of the async round
+// engine: per-round wall clock of the synchronous loop, its degenerate
+// async twin (the substrate overhead of the event queue alone — the two
+// are bit-identical in output, asserted below), and the straggler trace
+// with staleness-weighted merging.
+type asyncRoundJSON struct {
+	Clients int `json:"clients"`
+	K       int `json:"k"`
+	Rounds  int `json:"rounds"`
+	Workers int `json:"workers"`
+	// Per-round wall clock (best of reps) for each substrate variant.
+	SyncNsPerRound       int64 `json:"sync_ns_per_round"`
+	DegenerateNsPerRound int64 `json:"async_degenerate_ns_per_round"`
+	TraceNsPerRound      int64 `json:"async_trace_ns_per_round"`
+	// TraceMeanStaleness is the traced run's mean update age in server
+	// rounds (>0 proves stale merges actually happened).
+	TraceMeanStaleness float64 `json:"trace_mean_staleness"`
+	// DegenerateBitIdentical records the determinism contract: the
+	// degenerate async run's final weights equal the synchronous run's
+	// bit for bit.
+	DegenerateBitIdentical bool `json:"degenerate_bit_identical"`
+}
+
+// measureAsyncRound produces the async record (best-of-3 per variant).
+func measureAsyncRound() asyncRoundJSON {
+	cfg, mkPool := asyncBenchFixture()
+	rec := asyncRoundJSON{Clients: 1000, K: cfg.K, Rounds: cfg.Rounds, Workers: cfg.Workers}
+	best := func(f func()) int64 {
+		var b time.Duration
+		for r := 0; r < 3; r++ {
+			start := time.Now()
+			f()
+			if d := time.Since(start); b == 0 || d < b {
+				b = d
+			}
+		}
+		return b.Nanoseconds() / int64(cfg.Rounds)
+	}
+	var syncW, degW []float64
+	rec.SyncNsPerRound = best(func() { syncW = RunVirtual(cfg, mkPool(), nil, FedAvg{}).Weights })
+	rec.DegenerateNsPerRound = best(func() {
+		degW = RunAsync(AsyncConfig{RunConfig: cfg}, mkPool(), nil, FedAvg{}).Weights
+	})
+	var stale float64
+	rec.TraceNsPerRound = best(func() {
+		stale = RunAsync(asyncBenchTrace(cfg), mkPool(), nil, FedAvg{}).MeanStaleness()
+	})
+	rec.TraceMeanStaleness = stale
+	rec.DegenerateBitIdentical = len(syncW) == len(degW)
+	for i := range syncW {
+		if math.Float64bits(syncW[i]) != math.Float64bits(degW[i]) {
+			rec.DegenerateBitIdentical = false
+			break
+		}
+	}
+	return rec
+}
+
 // --- Nested-grid benchmark: stealing under outer saturation -----------
 
 // nestedGridJSON is the BENCH_engine.json record of the nested-grid
@@ -562,6 +674,10 @@ func TestEngineBenchJSON(t *testing.T) {
 		Ratio:         float64(peakLarge) / float64(peakSmall),
 	}
 
+	// Async round engine: sync vs degenerate-async vs straggler-trace
+	// per-round cost, plus the bit-identity contract as a recorded fact.
+	asyncRec := measureAsyncRound()
+
 	doc := struct {
 		Benchmark     string            `json:"benchmark"`
 		GOMAXPROCS    int               `json:"gomaxprocs"`
@@ -571,6 +687,7 @@ func TestEngineBenchJSON(t *testing.T) {
 		Cases         []caseJSON        `json:"cases"`
 		NestedGrid    nestedGridJSON    `json:"nested_grid"`
 		ClientScaling clientScalingJSON `json:"client_scaling"`
+		AsyncRound    asyncRoundJSON    `json:"async_round"`
 	}{
 		Benchmark:     "engine_round_loop",
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
@@ -580,6 +697,7 @@ func TestEngineBenchJSON(t *testing.T) {
 		Cases:         cases,
 		NestedGrid:    nested,
 		ClientScaling: scaling,
+		AsyncRound:    asyncRec,
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -616,6 +734,18 @@ func TestEngineBenchJSON(t *testing.T) {
 	if scaling.PeakHeapSmall == 0 || scaling.Ratio > 2.0 {
 		t.Fatalf("client scaling: peak heap grew %.2fx from %d to %d clients (%+v)",
 			scaling.Ratio, scaleSmall, scaleLarge, scaling)
+	}
+	// Async engine gates: all three variants measured, the straggler
+	// trace actually produced stale merges, and the degenerate async run
+	// reproduced the synchronous weights bit for bit.
+	if asyncRec.SyncNsPerRound <= 0 || asyncRec.DegenerateNsPerRound <= 0 || asyncRec.TraceNsPerRound <= 0 {
+		t.Fatalf("async round: missing measurement (%+v)", asyncRec)
+	}
+	if asyncRec.TraceMeanStaleness <= 0 {
+		t.Fatalf("async round: straggler trace produced no stale merges (%+v)", asyncRec)
+	}
+	if !asyncRec.DegenerateBitIdentical {
+		t.Fatalf("async round: degenerate trace diverged from the synchronous loop (%+v)", asyncRec)
 	}
 }
 

@@ -12,8 +12,10 @@
 //	tables -list
 //
 // Experiment ids are the paper's table/figure numbers (table2, table3,
-// table4, figure4..figure10) plus the DESIGN.md ablations
-// (ablation-reward, ablation-statenorm, ablation-twostage).
+// table4, figure4..figure10), the DESIGN.md ablations
+// (ablation-reward, ablation-statenorm, ablation-twostage), and the
+// async-vs-sync substrate comparison (async-sync), whose "+async" rows
+// must reproduce their synchronous base rows exactly.
 //
 // Sharding: a grid experiment's cells are enumerated in a deterministic
 // canonical order, and -shard i/n runs exactly the cells whose position

@@ -14,9 +14,24 @@ func TestTablesList(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
 		t.Fatalf("-list exited %d: %s", code, errOut.String())
 	}
-	for _, want := range []string{"table2", "table3", "figure9", "headline"} {
+	for _, want := range []string{"table2", "table3", "figure9", "headline", "async-sync"} {
 		if !strings.Contains(out.String(), want) {
 			t.Fatalf("-list output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestTablesAsyncSync runs the async-vs-sync grid through the real CLI
+// at a tiny scale: the "+async" degenerate rows must render, and the
+// experiment must complete cleanly end to end.
+func TestTablesAsyncSync(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-exp", "async-sync", "-scale", "ci", "-rounds", "2"}, &out, &errOut); code != 0 {
+		t.Fatalf("async-sync exited %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"FedAvg+async", "FedDRL+stale", "degenerate trace"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("async-sync output missing %q:\n%s", want, out.String())
 		}
 	}
 }

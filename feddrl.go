@@ -15,6 +15,11 @@
 //     clients are (seed, index-recipe) identities over zero-copy
 //     DataView shards, materialized only while selected (bit-identical
 //     to the eager path)
+//   - asynchronous rounds: RunAsync, a deterministic event-driven round
+//     engine over the same ClientPool — seeded virtual clock, pluggable
+//     ArrivalModel traces (stragglers, dropout, availability) and
+//     staleness-weighted merging; its degenerate trace reproduces
+//     RunVirtual bit for bit
 //   - the execution engine: NewWorkerPool + RunConfig.Workers, a bounded
 //     work-stealing pool whose parallel results are bit-identical to
 //     sequential and whose nested loops stay parallel under saturation
@@ -108,6 +113,28 @@ type (
 	Population = fl.Population
 )
 
+// Asynchronous round engine types.
+type (
+	// AsyncConfig configures RunAsync: RunConfig plus the arrival trace
+	// and the server's staleness policy (zero async fields = the
+	// degenerate setting, bit-identical to RunVirtual).
+	AsyncConfig = fl.AsyncConfig
+	// AsyncResult is an async run's record: Result plus per-aggregation
+	// async metrics (virtual time, staleness, drops).
+	AsyncResult = fl.AsyncResult
+	// AsyncRoundMetrics is one async aggregation step's bookkeeping.
+	AsyncRoundMetrics = fl.AsyncRoundMetrics
+	// Arrival is one dispatch's fate: virtual delay, or loss.
+	Arrival = fl.Arrival
+	// ArrivalModel is the pluggable seeded latency/availability trace.
+	ArrivalModel = fl.ArrivalModel
+	// InstantArrivals is the degenerate trace (zero latency, no drops).
+	InstantArrivals = fl.InstantArrivals
+	// TraceArrivals is a seeded synthetic straggler/dropout/availability
+	// trace with identity-stable client traits.
+	TraceArrivals = fl.TraceArrivals
+)
+
 // DRL agent types.
 type (
 	// Agent is the DDPG-style impact-factor agent (§3.3–3.4).
@@ -178,6 +205,10 @@ var (
 	// RunVirtual is Run over a ClientPool: clients materialize only
 	// while selected, bit-identical to the eager path.
 	RunVirtual = fl.RunVirtual
+	// RunAsync is the deterministic asynchronous round engine over a
+	// ClientPool: event-queue arrivals on a seeded virtual clock with
+	// staleness-weighted merging.
+	RunAsync = fl.RunAsync
 	// SingleSet trains centrally on the combined data (the §4.1 baseline).
 	SingleSet = fl.SingleSet
 	// Aggregate computes the Eq. 4 weighted model merge.
@@ -382,9 +413,18 @@ var (
 	RestoreAgent = core.RestoreAgent
 	// LoadAgentFile restores an agent from a checkpoint file.
 	LoadAgentFile = core.LoadAgentFile
-	// CommPerRound computes a round's traffic under an aggregator.
+	// CommPerRound computes a synchronous round's traffic under an
+	// aggregator.
 	CommPerRound = fl.CommPerRound
+	// CommAsyncRound computes an asynchronous aggregation step's
+	// traffic: dispatched broadcasts down, arrived updates (with
+	// staleness metadata) up.
+	CommAsyncRound = fl.CommAsyncRound
 )
+
+// AsyncMetaBytes is the per-update staleness metadata an asynchronous
+// uplink carries beyond the synchronous payload.
+const AsyncMetaBytes = fl.AsyncMetaBytes
 
 // MLPFactory returns a ModelFactory for a dense network over inputs of
 // the given dimension — a convenience for quickstarts and examples.

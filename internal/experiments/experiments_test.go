@@ -62,7 +62,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table2", "table3", "table4",
 		"figure4", "figure5", "figure6", "figure7", "figure8", "figure9", "figure10",
 		"ablation-reward", "ablation-statenorm", "ablation-twostage",
-		"ablation-prior", "comm-overhead", "headline",
+		"ablation-prior", "comm-overhead", "headline", "async-sync",
 	}
 	for _, n := range want {
 		if _, ok := Registry[n]; !ok {

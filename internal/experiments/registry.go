@@ -62,6 +62,7 @@ var Registry = map[string]Experiment{
 	"ablation-prior":     mono(AblationPrior),
 	"comm-overhead":      mono(CommOverhead),
 	"headline":           {Jobs: headlineJobs, Render: renderHeadline},
+	"async-sync":         {Jobs: asyncSyncJobs, Render: renderAsyncSync},
 }
 
 // Names returns the registered experiment ids in sorted order.

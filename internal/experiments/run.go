@@ -88,16 +88,27 @@ func runMethodOn(s Scale, spec dataset.Spec, partName, method string, n, k int, 
 	r := rng.New(seed + 2)
 	assign := buildPartition(partName, train, spec, n, delta, r)
 
+	// A "+mode" suffix selects the asynchronous engine (see async.go);
+	// the base method picks the aggregator as before. FedDRL's impact
+	// computation is fixed-width, so its agent is sized to the cohort
+	// the server actually merges: the async threshold for "+stale"
+	// cells, K otherwise.
+	base, mode := asyncVariant(method)
+	aggCohort := k
+	if mode == asyncModeStale {
+		aggCohort = asyncThreshold(k)
+	}
+
 	proxMu := 0.0
 	var agg fl.Aggregator
-	switch method {
+	switch base {
 	case "FedAvg":
 		agg = fl.FedAvg{}
 	case "FedProx":
 		agg = fl.FedProx{}
 		proxMu = s.ProxMu
 	case "FedDRL":
-		agg = fl.NewFedDRL(core.NewAgent(s.drlConfig(k, seed+3)))
+		agg = fl.NewFedDRL(core.NewAgent(s.drlConfig(aggCohort, seed+3)))
 	default:
 		panic(fmt.Sprintf("experiments: unknown method %q", method))
 	}
@@ -107,6 +118,9 @@ func runMethodOn(s Scale, spec dataset.Spec, partName, method string, n, k int, 
 	// state at a time, so a cell's memory is O(K) in its client count.
 	// Bit-identical to the eager fl.Run path with the same seed.
 	cp := fl.NewClientPool(train, fl.IndexPartition(assign.ClientIndices), cfg.Factory, seed+4)
+	if mode != "" {
+		return fl.RunAsync(asyncConfigFor(mode, cfg, k, seed), cp, test, agg).Result
+	}
 	return fl.RunVirtual(cfg, cp, test, agg)
 }
 

@@ -12,6 +12,13 @@
 // is only a (seed, index-recipe) identity materialized into one of K
 // reusable slots while selected — the constant-memory path for
 // simulating millions of clients.
+//
+// RunAsync layers a deterministic asynchronous substrate on the virtual
+// path: a seeded virtual clock and arrival event queue replace the
+// synchronous barrier, with pluggable straggler/dropout traces
+// (ArrivalModel) and staleness-decay-weighted merging. A degenerate
+// trace (zero latency, no drops, decay 1) reproduces RunVirtual bit for
+// bit.
 package fl
 
 import (

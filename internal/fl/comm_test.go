@@ -41,8 +41,55 @@ func TestCommPerRoundFedDRL(t *testing.T) {
 }
 
 func TestOverheadFractionDegenerate(t *testing.T) {
+	// The degenerate cases are defined, not accidental: no arrived
+	// updates (k == 0, or an async round where everything dropped)
+	// means no baseline and a fraction of 0 — never NaN.
 	c := CommRound{}
 	if c.OverheadFraction() != 0 {
 		t.Fatal("zero round should have zero fraction")
 	}
+	if f := CommPerRound(FedAvg{}, 0, 1000).OverheadFraction(); f != 0 {
+		t.Fatalf("k=0 round fraction = %v, want 0", f)
+	}
+	if f := CommAsyncRound(FedAvg{}, 10, 0, 1000).OverheadFraction(); f != 0 {
+		t.Fatalf("all-dropped async round fraction = %v, want 0", f)
+	}
+}
+
+func TestCommAsyncRound(t *testing.T) {
+	cfg := core.DefaultConfig(10)
+	cfg.Hidden = 8
+	agg := NewFedDRL(core.NewAgent(cfg))
+
+	// Partial round: 10 broadcasts, 7 arrivals. Downlink charges the
+	// dispatches; uplink charges only completed uploads, each carrying
+	// the staleness metadata on top of the synchronous payload.
+	c := CommAsyncRound(agg, 10, 7, 1000)
+	wire := 4 + 8000
+	if want := 10 * wire; c.DownlinkBytes != want {
+		t.Fatalf("downlink %d, want %d", c.DownlinkBytes, want)
+	}
+	if want := 7 * (wire + 8 + 16 + AsyncMetaBytes); c.UplinkBytes != want {
+		t.Fatalf("uplink %d, want %d", c.UplinkBytes, want)
+	}
+	if c.OverheadBytes != 7*16 {
+		t.Fatalf("method overhead %d, want %d (staleness metadata is substrate, not method)", c.OverheadBytes, 7*16)
+	}
+
+	// Degenerate trace (everything arrives): differs from the
+	// synchronous round by exactly arrived×AsyncMetaBytes of uplink.
+	sync, async := CommPerRound(agg, 10, 1000), CommAsyncRound(agg, 10, 10, 1000)
+	if async.DownlinkBytes != sync.DownlinkBytes || async.OverheadBytes != sync.OverheadBytes {
+		t.Fatal("degenerate async round disagrees with synchronous accounting")
+	}
+	if async.UplinkBytes != sync.UplinkBytes+10*AsyncMetaBytes {
+		t.Fatalf("degenerate async uplink %d, want sync %d + %d", async.UplinkBytes, sync.UplinkBytes, 10*AsyncMetaBytes)
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("arrived > dispatched did not panic")
+		}
+	}()
+	CommAsyncRound(agg, 5, 6, 1000)
 }

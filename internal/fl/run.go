@@ -174,6 +174,36 @@ func (r *Result) MeanAggTime() time.Duration {
 	return total / time.Duration(len(r.Rounds))
 }
 
+// enginePool resolves the run's execution pool: the caller-supplied
+// cfg.Pool when set, a freshly created pool of effectiveWorkers lanes
+// when parallelism was requested, or nil for sequential runs. When a
+// pool is in play the large tensor kernels fan out on the SAME pool as
+// client training and evaluation (tensor.SetParallel), so kernel
+// parallelism is work-stealing-scheduled with the rest of the round
+// loop instead of spawning raw goroutines that oversubscribe the lanes.
+// Results are bit-identical with any pool or none, so the
+// process-global hook is safe even when concurrent grid cells swap it.
+//
+// The returned release func must be deferred: for an owned pool it
+// uninstalls only our own hook — a concurrent run that installed its
+// pool in the meantime keeps it (closed pools are treated as absent by
+// the kernels regardless) — and closes the pool. A caller-supplied pool
+// is left untouched; its owner manages its lifecycle.
+func (c RunConfig) enginePool() (pool *engine.Pool, release func()) {
+	if c.Pool == nil && c.effectiveWorkers() > 1 {
+		p := engine.New(c.effectiveWorkers())
+		tensor.SetParallel(p)
+		return p, func() {
+			tensor.ClearParallel(p)
+			p.Close()
+		}
+	}
+	if c.Pool != nil {
+		tensor.SetParallel(c.Pool)
+	}
+	return c.Pool, func() {}
+}
+
 // population is the run loop's view of a client fleet: the Population
 // surface the Selector sees, plus slot checkout for the training phase
 // and loss write-back. checkout/checkin are never called concurrently —
@@ -253,25 +283,8 @@ func runLoop(cfg RunConfig, pop population, test *dataset.Dataset, agg Aggregato
 	serverModel := cfg.Factory(cfg.Seed)
 	global := serverModel.ParamVector()
 
-	pool := cfg.Pool
-	if pool == nil && cfg.effectiveWorkers() > 1 {
-		pool = engine.New(cfg.effectiveWorkers())
-		defer pool.Close()
-		// Uninstall only our own hook: a concurrent Run that installed
-		// its pool in the meantime keeps it. (Closed pools are treated
-		// as absent by the kernels regardless.)
-		defer tensor.ClearParallel(pool)
-	}
-	if pool != nil {
-		// Large tensor kernels fan out on the SAME pool as client
-		// training and evaluation (tensor.SetParallel), so kernel
-		// parallelism is work-stealing-scheduled with the rest of the
-		// round loop instead of spawning raw goroutines that
-		// oversubscribe the lanes. Results are bit-identical with any
-		// pool or none, so the process-global hook is safe even when
-		// concurrent grid cells swap it.
-		tensor.SetParallel(pool)
-	}
+	pool, release := cfg.enginePool()
+	defer release()
 	var ev *Evaluator
 	if test != nil {
 		// The evaluator's persistent lanes serve the sequential case too
@@ -293,32 +306,7 @@ func runLoop(cfg RunConfig, pop population, test *dataset.Dataset, agg Aggregato
 	for round := 0; round < cfg.Rounds; round++ {
 		selected := sel.Select(round, k, pop, serverRNG)
 
-		if pool != nil && k > 1 && distinctInto(seen, selected) {
-			// Bind every selected identity to its own slot before the
-			// fan-out, run the slots in parallel, release after the
-			// barrier — checkout/checkin stay single-threaded.
-			for i, ci := range selected {
-				slots[i] = pop.checkout(i, ci)
-			}
-			pool.For(k, func(i int) {
-				updates[i] = slots[i].Run(global, cfg.Local)
-			})
-			for i := range selected {
-				pop.checkin(i, slots[i])
-			}
-		} else {
-			// Sequential path — also the safety net for a custom
-			// Selector that violates the distinct-indices contract, where
-			// two tasks would otherwise share one client's model and RNG.
-			// One slot is checked out and returned per iteration, so a
-			// duplicated identity resumes the RNG stream its earlier
-			// occurrence advanced, exactly like a reused eager client.
-			for i, ci := range selected {
-				c := pop.checkout(0, ci)
-				updates[i] = c.Run(global, cfg.Local)
-				pop.checkin(0, c)
-			}
-		}
+		trainCohort(pop, selected, global, cfg.Local, pool, updates, slots, seen)
 
 		for i, ci := range selected {
 			pop.noteLoss(ci, updates[i].LossBefore)
@@ -358,6 +346,45 @@ func runLoop(cfg RunConfig, pop population, test *dataset.Dataset, agg Aggregato
 	return res
 }
 
+// trainCohort runs one dispatch cohort's local training: every selected
+// eligible index is checked out, trained against the broadcast global
+// vector, and checked back in. It is shared by the synchronous round
+// loop and the async engine's dispatch phase, so both substrates produce
+// bit-identical client updates for the same cohort.
+//
+// When a pool is available and the selection is distinct, every identity
+// is bound to its own slot before the fan-out, the slots run in
+// parallel, and all are released after the barrier — checkout/checkin
+// stay single-threaded. The sequential path doubles as the safety net
+// for a custom Selector that violates the distinct-indices contract,
+// where two tasks would otherwise share one client's model and RNG: one
+// slot is checked out and returned per iteration, so a duplicated
+// identity resumes the RNG stream its earlier occurrence advanced,
+// exactly like a reused eager client.
+//
+// updates, slots and seen are caller-owned scratch of length (capacity
+// for seen) at least len(selected); updates[:len(selected)] is filled in
+// selection order.
+func trainCohort(pop population, selected []int, global []float64, lc LocalConfig, pool *engine.Pool, updates []Update, slots []*Client, seen map[int]struct{}) {
+	if pool != nil && len(selected) > 1 && distinctInto(seen, selected) {
+		for i, ci := range selected {
+			slots[i] = pop.checkout(i, ci)
+		}
+		pool.For(len(selected), func(i int) {
+			updates[i] = slots[i].Run(global, lc)
+		})
+		for i := range selected {
+			pop.checkin(i, slots[i])
+		}
+		return
+	}
+	for i, ci := range selected {
+		c := pop.checkout(0, ci)
+		updates[i] = c.Run(global, lc)
+		pop.checkin(0, c)
+	}
+}
+
 // distinctInto reports whether all indices differ (the Selector
 // contract; verified before sharing clients across pool lanes). seen is
 // caller-owned scratch, cleared on entry.
@@ -389,15 +416,8 @@ func SingleSet(cfg RunConfig, all *dataset.Dataset, test *dataset.Dataset) *Resu
 	if evalEvery == 0 {
 		evalEvery = 1
 	}
-	pool := cfg.Pool
-	if pool == nil && cfg.effectiveWorkers() > 1 {
-		pool = engine.New(cfg.effectiveWorkers())
-		defer pool.Close()
-		defer tensor.ClearParallel(pool)
-	}
-	if pool != nil {
-		tensor.SetParallel(pool)
-	}
+	pool, release := cfg.enginePool()
+	defer release()
 	client := NewClient(0, all, cfg.Factory, cfg.Seed+0xace)
 	serverModel := cfg.Factory(cfg.Seed)
 	global := serverModel.ParamVector()

@@ -60,6 +60,14 @@ func (p CyclicPartition) Validate() {
 	if p.N <= 0 || p.Per <= 0 || p.Clients <= 0 {
 		panic(fmt.Sprintf("fl: invalid cyclic partition %+v", p))
 	}
+	// Per > N would wrap the stripe past a full cycle: the shard repeats
+	// samples it already holds, and Eq. 4's sample-count weighting
+	// silently double-counts them.
+	if p.Per > p.N {
+		panic(fmt.Sprintf(
+			"fl: cyclic partition shard size Per=%d exceeds dataset size N=%d: shards would repeat samples and double-count them in sample-weighted aggregation",
+			p.Per, p.N))
+	}
 }
 
 // NumClients returns the number of client identities.
@@ -133,6 +141,12 @@ func NewClientPool(d *dataset.Dataset, part Partition, factory nn.Factory, seed 
 	}
 	if factory == nil {
 		panic("fl: NewClientPool with nil factory")
+	}
+	// Partitions that know how to check themselves (CyclicPartition's
+	// shard-size bounds, for one) are checked at pool construction, not
+	// first checkout — a bad recipe should fail before training starts.
+	if v, ok := part.(interface{ Validate() }); ok {
+		v.Validate()
 	}
 	p := &ClientPool{
 		data:      d,

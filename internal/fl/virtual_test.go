@@ -179,6 +179,34 @@ func TestCyclicPartition(t *testing.T) {
 	CyclicPartition{N: 0, Per: 1, Clients: 1}.Validate()
 }
 
+// TestCyclicPartitionRejectsOversizedShard is the regression test for
+// the Per > N hole: a stripe longer than the dataset wraps past a full
+// cycle, repeats samples inside one shard, and double-counts them in
+// Eq. 4's sample-weighted merge. Validate must reject it — and so must
+// NewClientPool, which now validates self-checking partitions up front.
+func TestCyclicPartitionRejectsOversizedShard(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: Per > N did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("Validate", func() {
+		CyclicPartition{N: 10, Per: 11, Clients: 3}.Validate()
+	})
+	tr, _ := tinyData(t, 47)
+	f := tinyFactory(tr.Dim, tr.NumClasses)
+	expectPanic("NewClientPool", func() {
+		NewClientPool(tr, CyclicPartition{N: tr.N, Per: tr.N + 1, Clients: 3}, f, 1)
+	})
+	// The boundary case Per == N (every client sees the whole dataset
+	// exactly once) stays legal.
+	CyclicPartition{N: 10, Per: 10, Clients: 3}.Validate()
+}
+
 // TestRunVirtualMillionClients is the constant-memory property at full
 // scale: a million virtual identities over a small dataset, K=10. The
 // run must finish quickly and its live state must stay O(K) — slots

@@ -34,6 +34,26 @@ func splitmix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// MixSeed folds coordinates into a base seed through splitmix64,
+// producing a well-separated derived seed for every distinct coordinate
+// tuple. It is the canonical way to seed a throwaway generator from a
+// position in a deterministic schedule — e.g. the async engine's
+// per-(round, client, attempt) arrival draws — so the draw depends only
+// on the tuple, never on processing order or worker count. Tuples of
+// different lengths are distinguished by folding the length first.
+func MixSeed(base uint64, coords ...uint64) uint64 {
+	h := base ^ (uint64(len(coords)) * 0x9e3779b97f4a7c15)
+	out := splitmix64(&h)
+	for _, c := range coords {
+		// Chain through the fully avalanched output, not the raw
+		// counter: xoring small coordinates straight into splitmix64's
+		// additive state lets nearby tuples commute into collisions.
+		h = out ^ c
+		out = splitmix64(&h)
+	}
+	return out
+}
+
 // New returns a generator seeded from seed. Two generators with the same
 // seed produce identical sequences.
 func New(seed uint64) *RNG {

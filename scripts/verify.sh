@@ -30,6 +30,15 @@ go test -short -run 'FuzzParseCellKey|TestCellKeyPropertyRoundTrip' ./internal/e
 # above and emitted into BENCH_engine.json by `make bench-smoke`.
 go test -race -run 'TestVirtualMatchesEagerBitIdentical|TestRunVirtualDuplicateSelection|TestClientPoolSkipsEmptyShards|TestRunVirtualMillionClients|TestSingleSetHonorsWorkers|TestEvaluatorWarmEvalAllocFree' ./internal/fl/
 
+# Async round-engine determinism gate under -race: a degenerate trace
+# (zero latency, no drops, staleness weight 1) must reproduce RunVirtual
+# bit for bit for every aggregator at worker counts 1/2/4/8, a seeded
+# straggler/dropout trace must replay byte-identically across worker
+# counts, partial rounds must stay deterministic, and a client whose
+# update straddles server versions must resume its per-identity RNG
+# stream exactly.
+go test -race -run 'TestAsyncDegenerateMatchesRunVirtual|TestAsyncSeededTraceReproducible|TestAsyncPartialRounds|TestClientPoolStraddlingResume' ./internal/fl/
+
 # Compute-kernel gates: the blocked/register-tiled GEMM kernels (every
 # backend in the host's fallback chain — avx512/avx/neon and pure-Go —
 # all three transpose variants, and the pool-hook stripe fan-out) must
