@@ -579,8 +579,8 @@ func measureClientScaling(clients int) uint64 {
 	var peakHeap uint64
 	cfg := RunConfig{
 		Rounds: 3, K: 10,
-		Local:    LocalConfig{Epochs: 1, Batch: 8, LR: 0.03},
-		Factory:  factory, Seed: 9, Workers: 4,
+		Local:   LocalConfig{Epochs: 1, Batch: 8, LR: 0.03},
+		Factory: factory, Seed: 9, Workers: 4,
 		Selector: heapPeakSelector{inner: UniformSelector{}, peak: &peakHeap},
 	}
 	sampleHeapPeak(&peakHeap)
@@ -798,6 +798,40 @@ func BenchmarkComputeGEMMNaive(b *testing.B) {
 	}
 }
 
+// gemmFixture32 builds deterministic f32 operands for a shape (the same
+// value pattern as gemmFixture, quantized).
+func gemmFixture32(m, k, n int) (a, b, dst *tensor.Tensor32) {
+	a, b, dst = tensor.New32(m, k), tensor.New32(k, n), tensor.New32(m, n)
+	for i := range a.Data {
+		a.Data[i] = 0.25 * float32(i%23)
+	}
+	for i := range b.Data {
+		b.Data[i] = 0.5 * float32(i%19)
+	}
+	return a, b, dst
+}
+
+// BenchmarkComputeGEMMF32Blocked / BenchmarkComputeGEMMF32Naive time
+// the half-width kernel pair at the same headline shape (bench-smoke
+// entries via the ComputeGEMM pattern).
+func BenchmarkComputeGEMMF32Blocked(b *testing.B) {
+	sh := computeGEMMShapes[len(computeGEMMShapes)-1]
+	x, y, dst := gemmFixture32(sh.M, sh.K, sh.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul32Into(dst, x, y)
+	}
+}
+
+func BenchmarkComputeGEMMF32Naive(b *testing.B) {
+	sh := computeGEMMShapes[len(computeGEMMShapes)-1]
+	x, y, dst := gemmFixture32(sh.M, sh.K, sh.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulNaive32Into(dst, x, y)
+	}
+}
+
 // elemwiseBenchFixture sizes the vectors like one flattened model
 // update (the Eq. 4 aggregation and SGD step granularity).
 func elemwiseBenchFixture() (x, y []float64) {
@@ -817,6 +851,21 @@ func BenchmarkComputeElemwiseAxpy(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.Axpy(1.0/1024, x, y)
+	}
+}
+
+// BenchmarkComputeElemwiseF32Axpy times the f32 aggregation workhorse
+// (the AggregateOn32 inner kernel) at the same element count.
+func BenchmarkComputeElemwiseF32Axpy(b *testing.B) {
+	x := make([]float32, 1<<16)
+	y := make([]float32, 1<<16)
+	for i := range x {
+		x[i] = 0.25 * float32(i%23)
+	}
+	b.SetBytes(12 << 16) // read x, read y, write y
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Axpy32(1.0/1024, x, y)
 	}
 }
 
@@ -885,15 +934,31 @@ type backendEntry struct {
 	AxpyGBs    float64 `json:"axpy_gb_s"`
 }
 
+// precisionEntry is one row of the f32-vs-f64 matrix: the same headline
+// GEMM and axpy kernels at each federated-state width, plus the wire
+// size of one reference model update. AxpyGBs is raw memory bandwidth
+// (12 B/element at f32, 24 at f64 — roughly equal on a bandwidth-bound
+// kernel); AxpyEffGBs is model-state throughput on a common scale —
+// weights/s × 8 bytes — which is where the half-width win shows up:
+// the same bandwidth carries twice the weights.
+type precisionEntry struct {
+	Precision  string  `json:"precision"`
+	GemmGFLOPS float64 `json:"gemm_gflops"`
+	AxpyGBs    float64 `json:"axpy_gb_s"`
+	AxpyEffGBs float64 `json:"axpy_effective_gb_s"`
+	UpdateWire int     `json:"update_wire_bytes"`
+}
+
 type computeBenchDoc struct {
-	Benchmark      string         `json:"benchmark"`
-	Backend        string         `json:"kernel_backend"`
-	GOMAXPROCS     int            `json:"gomaxprocs"`
-	NumCPU         int            `json:"num_cpu"`
-	GEMM           []gemmEntry    `json:"gemm"`
-	Backends       []backendEntry `json:"backend_matrix"`
-	ConvForwardNs  int64          `json:"conv_forward_ns"`
-	ConvBackwardNs int64          `json:"conv_backward_ns"`
+	Benchmark      string           `json:"benchmark"`
+	Backend        string           `json:"kernel_backend"`
+	GOMAXPROCS     int              `json:"gomaxprocs"`
+	NumCPU         int              `json:"num_cpu"`
+	GEMM           []gemmEntry      `json:"gemm"`
+	Backends       []backendEntry   `json:"backend_matrix"`
+	Precisions     []precisionEntry `json:"precision_matrix"`
+	ConvForwardNs  int64            `json:"conv_forward_ns"`
+	ConvBackwardNs int64            `json:"conv_backward_ns"`
 	TrainStep      struct {
 		DenseAllocs float64 `json:"dense_allocs_per_step"`
 		ConvAllocs  float64 `json:"conv_allocs_per_step"`
@@ -1015,6 +1080,73 @@ func TestComputeBenchJSON(t *testing.T) {
 		}
 	}
 
+	// Precision matrix: the headline GEMM and axpy kernels at both
+	// federated-state widths on the detected backend, plus the wire size
+	// of one reference update (the §5.3 payload a -precision f32 run
+	// halves).
+	{
+		sh := computeGEMMShapes[len(computeGEMMShapes)-1]
+		flops := 2 * float64(sh.M) * float64(sh.K) * float64(sh.N)
+		const axpyN, axpyReps = 1 << 16, 256
+		const refWeights = 100_000 // reference model size for wire bytes
+		{
+			a, bb, dst := gemmFixture(sh.M, sh.K, sh.N)
+			ax := make([]float64, axpyN)
+			ay := make([]float64, axpyN)
+			for i := range ax {
+				ax[i] = 0.25 * float64(i%23)
+			}
+			gemmNs := best(func() { tensor.MatMulInto(dst, a, bb) })
+			axpyNs := best(func() {
+				for r := 0; r < axpyReps; r++ {
+					tensor.Axpy(1.0/1024, ax, ay)
+				}
+			})
+			e := precisionEntry{
+				Precision:  "f64",
+				UpdateWire: CommPerRoundP(FedAvg{}, 1, refWeights, F64).UplinkBytes,
+			}
+			if gemmNs > 0 {
+				e.GemmGFLOPS = flops / float64(gemmNs)
+			}
+			if axpyNs > 0 {
+				e.AxpyGBs = 24 * axpyN * axpyReps / float64(axpyNs)
+				// weights/s × 8 B: at full width this equals 8/24 of the
+				// raw bandwidth.
+				e.AxpyEffGBs = 8 * axpyN * axpyReps / float64(axpyNs)
+			}
+			doc.Precisions = append(doc.Precisions, e)
+		}
+		{
+			a, bb, dst := gemmFixture32(sh.M, sh.K, sh.N)
+			ax := make([]float32, axpyN)
+			ay := make([]float32, axpyN)
+			for i := range ax {
+				ax[i] = 0.25 * float32(i%23)
+			}
+			gemmNs := best(func() { tensor.MatMul32Into(dst, a, bb) })
+			axpyNs := best(func() {
+				for r := 0; r < axpyReps; r++ {
+					tensor.Axpy32(1.0/1024, ax, ay)
+				}
+			})
+			e := precisionEntry{
+				Precision:  "f32",
+				UpdateWire: CommPerRoundP(FedAvg{}, 1, refWeights, F32).UplinkBytes,
+			}
+			if gemmNs > 0 {
+				e.GemmGFLOPS = flops / float64(gemmNs)
+			}
+			if axpyNs > 0 {
+				e.AxpyGBs = 12 * axpyN * axpyReps / float64(axpyNs)
+				// Same common scale: 12 B/element moved, 8 B of
+				// model-state per element counted.
+				e.AxpyEffGBs = 8 * axpyN * axpyReps / float64(axpyNs)
+			}
+			doc.Precisions = append(doc.Precisions, e)
+		}
+	}
+
 	conv, sc, x, grad := convBenchFixture()
 	doc.ConvForwardNs = best(func() { conv.ForwardScratch(sc, 0, x, true) })
 	conv.ForwardScratch(sc, 0, x, true)
@@ -1069,6 +1201,30 @@ func TestComputeBenchJSON(t *testing.T) {
 		if avx, ok := tierGemm["avx"]; ok && a512 < 1.3*avx {
 			t.Fatalf("avx512 GEMM %.1f GFLOP/s is under 1.3x avx (%.1f)", a512, avx)
 		}
+	}
+	// Precision-matrix sanity and the f32 advantage gates: both widths
+	// measured; the f32 row must deliver ≥1.5× the f64 row's effective
+	// axpy throughput (the half-width kernel touches half the bytes per
+	// weight, so ~2× is the expectation and 1.5 absorbs CI noise), and
+	// its update wire size must be at most 0.55× the f64 payload (4+ε
+	// vs 8+ε bytes per weight).
+	if len(doc.Precisions) != 2 {
+		t.Fatalf("precision matrix has %d rows, want 2", len(doc.Precisions))
+	}
+	p64, p32 := doc.Precisions[0], doc.Precisions[1]
+	if p64.Precision != "f64" || p32.Precision != "f32" {
+		t.Fatalf("precision matrix rows mislabeled: %q, %q", p64.Precision, p32.Precision)
+	}
+	for _, e := range doc.Precisions {
+		if e.GemmGFLOPS <= 0 || e.AxpyGBs <= 0 || e.AxpyEffGBs <= 0 || e.UpdateWire <= 0 {
+			t.Fatalf("precision %s: no measurement (%+v)", e.Precision, e)
+		}
+	}
+	if p32.AxpyEffGBs < 1.5*p64.AxpyEffGBs {
+		t.Fatalf("f32 effective axpy %.1f GB/s is under 1.5x f64 (%.1f)", p32.AxpyEffGBs, p64.AxpyEffGBs)
+	}
+	if ratio := float64(p32.UpdateWire) / float64(p64.UpdateWire); ratio > 0.55 {
+		t.Fatalf("f32 update wire %.3f of f64, want <= 0.55", ratio)
 	}
 	if doc.ConvForwardNs <= 0 || doc.ConvBackwardNs <= 0 {
 		t.Fatal("conv pass not measured")

@@ -39,11 +39,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	exploreStd := fs.Float64("explorestd", 0.05, "FedDRL exploration noise scale")
 	exploreDecay := fs.Float64("exploredecay", 0.99, "FedDRL exploration decay per action")
 	workers := fs.Int("workers", 0, "work-stealing engine lanes shared by client training, evaluation and the weight merge (0 = sequential, -1 = GOMAXPROCS); results are identical at any width")
+	precName := fs.String("precision", "f64", "federated-state width: f64 (full, the default) or f32 (half-width uploads and merge; local training stays f64; SingleSet ignores it)")
 	seed := fs.Uint64("seed", 1, "run seed")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return 0
 		}
+		return 2
+	}
+
+	prec, err := feddrl.ParsePrecision(*precName)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
 		return 2
 	}
 
@@ -99,8 +106,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Local:    feddrl.LocalConfig{Epochs: *epochs, Batch: 10, LR: *lr},
 		Factory:  factory,
 		Seed:     *seed + 2,
-		Workers:  engineWorkers,
-		Parallel: *workers < 0,
+		Workers:   engineWorkers,
+		Parallel:  *workers < 0,
+		Precision: prec,
 	}
 
 	var res *feddrl.Result

@@ -43,12 +43,40 @@ func TestFedsimWorkersDeterminism(t *testing.T) {
 	}
 }
 
+// TestFedsimPrecisionFlag runs every method under -precision f32: the
+// run must complete, and (for the federated methods) the report must be
+// byte-identical at any engine width — the f32 determinism contract
+// surfaced end to end through the CLI.
+func TestFedsimPrecisionFlag(t *testing.T) {
+	for _, method := range []string{"SingleSet", "FedAvg", "FedDRL"} {
+		out := runArgs(t, append([]string{"-method", method, "-precision", "f32"}, tiny...)...)
+		if !strings.Contains(out, "best ") {
+			t.Fatalf("%s -precision f32: unexpected output:\n%s", method, out)
+		}
+	}
+	args := append([]string{"-method", "FedAvg", "-precision", "f32"}, tiny...)
+	trim := func(s string) string { return s[:strings.LastIndex(s, "mean decision time")] }
+	want := runArgs(t, append(args, "-workers", "0")...)
+	for _, w := range []string{"2", "-1"} {
+		got := runArgs(t, append(args, "-workers", w)...)
+		if trim(got) != trim(want) {
+			t.Fatalf("-precision f32 -workers %s output differs:\n%s\nvs\n%s", w, got, want)
+		}
+	}
+	// "-precision f64" is the spelled-out default: identical output.
+	base := append([]string{"-method", "FedAvg"}, tiny...)
+	if got := runArgs(t, append(base, "-precision", "f64")...); trim(got) != trim(runArgs(t, base...)) {
+		t.Fatal("-precision f64 differs from the default run")
+	}
+}
+
 func TestFedsimBadFlags(t *testing.T) {
 	var out, errOut bytes.Buffer
 	for _, args := range [][]string{
 		{"-dataset", "nope"},
 		{"-partition", "nope"},
 		{"-method", "nope"},
+		{"-precision", "f16"},
 	} {
 		if code := run(args, &out, &errOut); code == 0 {
 			t.Fatalf("run(%v) succeeded, want failure", args)

@@ -8,6 +8,7 @@
 //	tables -exp table3 -shard 1/2 -out s1.art   # run half the grid, write artifacts
 //	tables -merge shards/                       # recombine shard artifacts and render
 //	tables -exp table3 -cache cells/            # skip cells cached by earlier runs
+//	tables -exp table3 -precision f32           # half-width federated state
 //	tables -cache-gc -cache cells/ -cache-max-bytes 1000000
 //	tables -list
 //
@@ -72,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	csvDir := fs.String("csvdir", "", "also export figure series as CSV into this directory (figure5/7/8)")
 	rounds := fs.Int("rounds", 0, "override the scale's communication rounds (0 = keep)")
 	workers := fs.Int("workers", 0, "work-stealing engine lanes shared by the experiment grid, every federated run and every evaluation (0 = the scale's default, -1 = GOMAXPROCS); output is identical at any width")
+	precName := fs.String("precision", "f64", "federated-state width for every cell: f64 (full, the default) or f32 (half-width uploads and merge); f32 and f64 cells have separate cache keys")
 	seeds := fs.Int("seeds", 1, "seed replicates per cell; >1 renders mean±std columns (grid experiments with a multi-seed renderer)")
 	shard := fs.String("shard", "", "run a deterministic slice of a grid experiment, as i/n (e.g. 1/2); writes a binary artifact file instead of text")
 	merge := fs.String("merge", "", "merge the shard artifact files (*.art) in this directory and render the combined experiment")
@@ -149,6 +151,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		scale.Workers = *workers
 	case *workers < 0:
 		scale.Workers = runtime.GOMAXPROCS(0)
+	}
+	prec, err := feddrl.ParsePrecision(*precName)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	// "f64" canonicalizes to the zero value so "-precision f64" and the
+	// default share cache records; F32 cells hash to distinct addresses.
+	if prec == feddrl.F32 {
+		scale.Precision = string(prec)
 	}
 	if *seeds < 1 {
 		fmt.Fprintln(stderr, "tables: -seeds must be >= 1")

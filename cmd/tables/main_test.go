@@ -303,6 +303,55 @@ func TestTablesCacheGCBadArgs(t *testing.T) {
 	}
 }
 
+// TestTablesPrecisionFlag checks -precision end to end: f32 runs
+// render, "-precision f64" is byte-identical to the default, f32 and
+// f64 cells occupy disjoint cache addresses, and invalid spellings or
+// mode conflicts are rejected.
+func TestTablesPrecisionFlag(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cells")
+	base := []string{"-exp", "figure8", "-scale", "ci", "-rounds", "2", "-seed", "1"}
+	body := func(s string) string { return s[strings.Index(s, "\n"):] }
+
+	var f64Out, errOut bytes.Buffer
+	if code := run(append(append([]string{}, base...), "-cache", cacheDir), &f64Out, &errOut); code != 0 {
+		t.Fatalf("default-precision run exited %d: %s", code, errOut.String())
+	}
+
+	var spelled bytes.Buffer
+	errOut.Reset()
+	if code := run(append(append([]string{}, base...), "-precision", "f64"), &spelled, &errOut); code != 0 {
+		t.Fatalf("-precision f64 exited %d: %s", code, errOut.String())
+	}
+	if body(spelled.String()) != body(f64Out.String()) {
+		t.Fatal("-precision f64 body differs from the default run")
+	}
+
+	// f32 renders against the same (warm f64) cache with zero hits:
+	// the Precision axis keys separate records.
+	var f32Out, f32Err bytes.Buffer
+	if code := run(append(append([]string{}, base...), "-precision", "f32", "-cache", cacheDir), &f32Out, &f32Err); code != 0 {
+		t.Fatalf("-precision f32 exited %d: %s", code, f32Err.String())
+	}
+	if !strings.Contains(f32Out.String(), "### figure8") {
+		t.Fatalf("-precision f32 missing experiment header:\n%s", f32Out.String())
+	}
+	if !strings.Contains(f32Err.String(), "0 hits") {
+		t.Fatalf("f32 run against f64 cache should have 0 hits: %s", f32Err.String())
+	}
+
+	for _, args := range [][]string{
+		{"-exp", "figure8", "-precision", "f16"},       // unknown spelling
+		{"-merge", dir, "-precision", "f32"},           // merge reads config from artifacts
+		{"-cache-gc", "-cache", dir, "-precision", "f32"}, // gc is a maintenance pass
+	} {
+		var out, bad bytes.Buffer
+		if code := run(args, &out, &bad); code == 0 {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
 func TestTablesBadArgs(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-scale", "nope"}, &out, &errOut); code == 0 {

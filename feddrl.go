@@ -111,7 +111,25 @@ type (
 	CyclicPartition = fl.CyclicPartition
 	// Population is the Selector's read-only view of the client fleet.
 	Population = fl.Population
+	// Precision selects the federated-state width of a run (F64 or F32).
+	Precision = fl.Precision
 )
+
+// Federated-state precisions.
+const (
+	// F64 is the full-width default (bit-for-bit the pre-precision
+	// behavior; the zero Precision value means the same).
+	F64 = fl.F64
+	// F32 runs the federated state — uploads, aggregation, global model
+	// lattice — at float32, halving update wire size. Local training
+	// stays float64; results are bit-identical across backends and
+	// worker counts, like every other mode.
+	F32 = fl.F32
+)
+
+// ParsePrecision resolves a CLI spelling ("f32", "f64" or "") to a
+// Precision, erroring on anything else.
+var ParsePrecision = fl.ParsePrecision
 
 // Asynchronous round engine types.
 type (
@@ -389,6 +407,8 @@ type (
 	RoundRobinSelector = fl.RoundRobinSelector
 	// SparseDelta is a top-k-compressed client update (§3.5).
 	SparseDelta = fl.SparseDelta
+	// SparseDelta32 is the half-width (F32-mode) compressed update.
+	SparseDelta32 = fl.SparseDelta32
 )
 
 // Sparse update compression (§3.5 compatibility).
@@ -402,6 +422,13 @@ var (
 	CompressUpdatesOn = fl.CompressUpdatesOn
 	// DecompressUpdates reconstructs dense updates server-side.
 	DecompressUpdates = fl.DecompressUpdates
+	// CompressTopK32 is CompressTopK over float32 vectors.
+	CompressTopK32 = fl.CompressTopK32
+	// CompressUpdates32On compresses an F32-mode round's updates on an
+	// engine pool.
+	CompressUpdates32On = fl.CompressUpdates32On
+	// DecompressUpdates32 reconstructs dense f32 updates server-side.
+	DecompressUpdates32 = fl.DecompressUpdates32
 )
 
 var (
@@ -420,6 +447,11 @@ var (
 	// traffic: dispatched broadcasts down, arrived updates (with
 	// staleness metadata) up.
 	CommAsyncRound = fl.CommAsyncRound
+	// CommPerRoundP is CommPerRound with an explicit precision: F32
+	// rounds move half-width weight payloads.
+	CommPerRoundP = fl.CommPerRoundP
+	// CommAsyncRoundP is CommAsyncRound with an explicit precision.
+	CommAsyncRoundP = fl.CommAsyncRoundP
 )
 
 // AsyncMetaBytes is the per-update staleness metadata an asynchronous

@@ -116,6 +116,7 @@ var hashedScaleFields = []string{
 	"DRLHidden", "DRLBatch", "DRLUpdates", "DRLWarmup",
 	"DRLExploreStd", "DRLExploreDecay",
 	"UseConvNets",
+	"Precision", // federated-state width changes every cell's numbers
 	"EvalEvery",
 }
 

@@ -321,6 +321,9 @@ func TestCacheKeySensitivity(t *testing.T) {
 		"EvalEvery": func(s *Scale) { s.EvalEvery++ },
 		"ConvNets":  func(s *Scale) { s.UseConvNets = !s.UseConvNets },
 		"DRLHidden": func(s *Scale) { s.DRLHidden++ },
+		// f32 and f64 cells compute different numbers and must never
+		// share a cache record.
+		"Precision": func(s *Scale) { s.Precision = "f32" },
 	}
 	for name, mut := range mutate {
 		changed := s

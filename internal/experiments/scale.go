@@ -66,6 +66,11 @@ type Scale struct {
 	// UseConvNets switches the client models from MLPs to the paper's
 	// convolutional architectures (SimpleCNN / VGGMini).
 	UseConvNets bool
+	// Precision selects the federated-state width of every cell
+	// ("f32", "f64", or "" for the f64 default — see fl.Precision).
+	// It changes each cell's numeric results, so it is part of the
+	// cache key: f32 and f64 cells never share a record.
+	Precision string
 	// EvalEvery is the test-evaluation cadence.
 	EvalEvery int
 	// Parallel trains selected clients in goroutines.
@@ -239,5 +244,6 @@ func (s Scale) runConfig(spec dataset.Spec, k int, proxMu float64, seed uint64) 
 		Parallel:  s.Parallel,
 		Workers:   s.Workers,
 		EvalEvery: s.EvalEvery,
+		Precision: fl.Precision(s.Precision),
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"feddrl/internal/dataset"
 	"feddrl/internal/mathx"
 	"feddrl/internal/rng"
+	"feddrl/internal/tensor"
 )
 
 // asyncArrivalSalt decorrelates the default arrival-draw stream from the
@@ -381,6 +382,11 @@ func RunAsync(cfg AsyncConfig, clients *ClientPool, test *dataset.Dataset, agg A
 	serverRNG := rng.New(cfg.Seed)
 	serverModel := cfg.Factory(cfg.Seed)
 	global := serverModel.ParamVector()
+	if cfg.Precision == F32 {
+		// Same f32-mode invariant as runLoop: the global vector stays on
+		// the float32 lattice across every aggregation step.
+		tensor.QuantizeLattice(global)
+	}
 
 	pool, release := cfg.enginePool()
 	defer release()
@@ -413,7 +419,7 @@ func RunAsync(cfg AsyncConfig, clients *ClientPool, test *dataset.Dataset, agg A
 	// in-flight updates survive their slot being retrained.
 	dispatch := func(attempt int) {
 		selected := sel.Select(round, k, pop, serverRNG)
-		trainCohort(pop, selected, global, cfg.Local, pool, updates, slots, seen)
+		trainCohort(pop, selected, global, cfg.Local, cfg.Precision, pool, updates, slots, seen)
 		for i := range selected {
 			u := updates[i]
 			dr := rng.New(rng.MixSeed(arrivalSeed, uint64(round), uint64(u.ClientID), uint64(attempt)))
@@ -481,7 +487,7 @@ func RunAsync(cfg AsyncConfig, clients *ClientPool, test *dataset.Dataset, agg A
 
 		t1 := time.Now()
 		alpha = staleWeights(alpha, buffer, round, decay)
-		global = AggregateOn(bufUpdates, alpha, pool)
+		global = aggregateP(cfg.Precision, bufUpdates, alpha, pool)
 		aggTime := time.Since(t1)
 
 		m := RoundMetrics{

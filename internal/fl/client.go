@@ -66,13 +66,16 @@ func (lc LocalConfig) Validate() {
 // Update is the tuple p_k^t a client uploads after local training
 // (Algorithm 2 line 11): the global-model inference loss l_b, the local
 // model's post-training loss l_a, the sample count n_k and the trained
-// weights w_k^t.
+// weights w_k^t. Exactly one of Weights/Weights32 is set, per the run's
+// Precision: f64 rounds carry Weights, f32 rounds carry the half-width
+// Weights32 (4 bytes per weight on the wire).
 type Update struct {
 	ClientID   int
 	N          int
 	LossBefore float64
 	LossAfter  float64
 	Weights    []float64
+	Weights32  []float32
 }
 
 // Client owns a private shard and a reusable model instance. Clients are
@@ -172,16 +175,34 @@ func (c *Client) evalLoss() float64 {
 // Run performs one communication round on the client (Algorithm 2 lines
 // 6–11): load the global weights, measure the inference loss, train for
 // E local epochs of minibatch SGD (optionally with the FedProx term), and
-// return the update tuple.
+// return the update tuple with full-width weights.
 func (c *Client) Run(global []float64, lc LocalConfig) Update {
+	return c.run(global, lc, F64)
+}
+
+// Run32 is Run in f32 precision mode: local training is identical (the
+// solver runs in float64), but the uploaded weights are quantized once
+// to float32 at the round boundary (Update.Weights32). global must be
+// on the float32 lattice — the run loop maintains that invariant — so
+// the broadcast itself loses nothing.
+func (c *Client) Run32(global []float64, lc LocalConfig) Update {
+	return c.run(global, lc, F32)
+}
+
+func (c *Client) run(global []float64, lc LocalConfig, prec Precision) Update {
 	lc.Validate()
 	c.model.SetParamVector(global)
 	n := c.Data.Len()
 	u := Update{ClientID: c.ID, N: n}
 	if n == 0 {
 		// Degenerate shard: return the global weights unchanged so the
-		// aggregation stays well-defined.
-		u.Weights = append([]float64(nil), global...)
+		// aggregation stays well-defined. In f32 mode the quantization is
+		// exact — the broadcast vector is on the float32 lattice.
+		if prec == F32 {
+			u.Weights32 = tensor.Quantize(nil, global)
+		} else {
+			u.Weights = append([]float64(nil), global...)
+		}
 		return u
 	}
 	u.LossBefore = c.evalLoss()
@@ -221,6 +242,10 @@ func (c *Client) Run(global []float64, lc LocalConfig) Update {
 		}
 	}
 	u.LossAfter = c.evalLoss()
-	u.Weights = c.model.ParamVector()
+	if prec == F32 {
+		u.Weights32 = c.model.ParamVector32()
+	} else {
+		u.Weights = c.model.ParamVector()
+	}
 	return u
 }

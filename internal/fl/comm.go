@@ -44,11 +44,28 @@ type CommRound struct {
 	OverheadBytes int
 }
 
+// weightWireSize returns the encoded byte size of one weight vector
+// under the run's precision: 8 bytes per weight for F64, 4 for F32
+// (the half-width encoding of serialize.WriteVector32).
+func weightWireSize(prec Precision, weightLen int) int {
+	if prec == F32 {
+		return serialize.VectorWireSize32(weightLen)
+	}
+	return serialize.VectorWireSize(weightLen)
+}
+
 // CommPerRound computes one synchronous round's traffic for K
-// participants exchanging weight vectors of the given length under the
-// given aggregator.
+// participants exchanging full-width weight vectors under the given
+// aggregator.
 func CommPerRound(agg Aggregator, k, weightLen int) CommRound {
-	wire := serialize.VectorWireSize(weightLen)
+	return CommPerRoundP(agg, k, weightLen, F64)
+}
+
+// CommPerRoundP is CommPerRound with an explicit precision: F32 rounds
+// move half-width weight payloads in both directions (metadata stays
+// fixed-width), so their traffic is just under half the F64 round's.
+func CommPerRoundP(agg Aggregator, k, weightLen int, prec Precision) CommRound {
+	wire := weightWireSize(prec, weightLen)
 	const countBytes = 8 // n_k as a fixed-width integer
 	extra := 0
 	if ms, ok := agg.(MetadataSizer); ok {
@@ -68,10 +85,17 @@ func CommPerRound(agg Aggregator, k, weightLen int) CommRound {
 // degenerate trace (arrived == dispatched) differs from CommPerRound by
 // exactly arrived×AsyncMetaBytes of uplink.
 func CommAsyncRound(agg Aggregator, dispatched, arrived, weightLen int) CommRound {
+	return CommAsyncRoundP(agg, dispatched, arrived, weightLen, F64)
+}
+
+// CommAsyncRoundP is CommAsyncRound with an explicit precision; the
+// staleness metadata stays fixed-width, only the weight payload narrows
+// under F32.
+func CommAsyncRoundP(agg Aggregator, dispatched, arrived, weightLen int, prec Precision) CommRound {
 	if arrived > dispatched {
 		panic("fl: CommAsyncRound with more arrivals than dispatches")
 	}
-	wire := serialize.VectorWireSize(weightLen)
+	wire := weightWireSize(prec, weightLen)
 	const countBytes = 8
 	extra := 0
 	if ms, ok := agg.(MetadataSizer); ok {

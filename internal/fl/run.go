@@ -57,6 +57,13 @@ type RunConfig struct {
 	// Selector chooses the participating clients each round; nil means
 	// uniform random selection (the paper's setting, §4.1.2).
 	Selector Selector
+	// Precision selects the federated-state width (see precision.go):
+	// F32 makes clients upload float32 weights (half the wire bytes) and
+	// the server merge in pure float32 arithmetic, with the global model
+	// held on the float32 lattice. The zero value and F64 are bit-for-bit
+	// the full-width behavior. Local training always runs in float64;
+	// SingleSet (no federated exchange) ignores the knob.
+	Precision Precision
 }
 
 // Validate panics on an inconsistent run configuration.
@@ -71,6 +78,7 @@ func (c RunConfig) Validate() {
 	if c.Workers < 0 {
 		panic("fl: negative Workers")
 	}
+	c.Precision.Validate()
 }
 
 // effectiveWorkers resolves the engine width from Pool, Workers and the
@@ -282,6 +290,12 @@ func runLoop(cfg RunConfig, pop population, test *dataset.Dataset, agg Aggregato
 	serverRNG := rng.New(cfg.Seed)
 	serverModel := cfg.Factory(cfg.Seed)
 	global := serverModel.ParamVector()
+	if cfg.Precision == F32 {
+		// f32 mode's standing invariant: the float64-carried global
+		// vector is exactly float32-representable, so every broadcast and
+		// every client-side quantization of it is lossless.
+		tensor.QuantizeLattice(global)
+	}
 
 	pool, release := cfg.enginePool()
 	defer release()
@@ -306,7 +320,7 @@ func runLoop(cfg RunConfig, pop population, test *dataset.Dataset, agg Aggregato
 	for round := 0; round < cfg.Rounds; round++ {
 		selected := sel.Select(round, k, pop, serverRNG)
 
-		trainCohort(pop, selected, global, cfg.Local, pool, updates, slots, seen)
+		trainCohort(pop, selected, global, cfg.Local, cfg.Precision, pool, updates, slots, seen)
 
 		for i, ci := range selected {
 			pop.noteLoss(ci, updates[i].LossBefore)
@@ -317,7 +331,7 @@ func runLoop(cfg RunConfig, pop population, test *dataset.Dataset, agg Aggregato
 		decision := time.Since(t0)
 
 		t1 := time.Now()
-		global = AggregateOn(updates, alpha, pool)
+		global = aggregateP(cfg.Precision, updates, alpha, pool)
 		aggTime := time.Since(t1)
 
 		for i, u := range updates {
@@ -365,13 +379,13 @@ func runLoop(cfg RunConfig, pop population, test *dataset.Dataset, agg Aggregato
 // updates, slots and seen are caller-owned scratch of length (capacity
 // for seen) at least len(selected); updates[:len(selected)] is filled in
 // selection order.
-func trainCohort(pop population, selected []int, global []float64, lc LocalConfig, pool *engine.Pool, updates []Update, slots []*Client, seen map[int]struct{}) {
+func trainCohort(pop population, selected []int, global []float64, lc LocalConfig, prec Precision, pool *engine.Pool, updates []Update, slots []*Client, seen map[int]struct{}) {
 	if pool != nil && len(selected) > 1 && distinctInto(seen, selected) {
 		for i, ci := range selected {
 			slots[i] = pop.checkout(i, ci)
 		}
 		pool.For(len(selected), func(i int) {
-			updates[i] = slots[i].Run(global, lc)
+			updates[i] = slots[i].run(global, lc, prec)
 		})
 		for i := range selected {
 			pop.checkin(i, slots[i])
@@ -380,7 +394,7 @@ func trainCohort(pop population, selected []int, global []float64, lc LocalConfi
 	}
 	for i, ci := range selected {
 		c := pop.checkout(0, ci)
-		updates[i] = c.Run(global, lc)
+		updates[i] = c.run(global, lc, prec)
 		pop.checkin(0, c)
 	}
 }

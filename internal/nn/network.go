@@ -104,6 +104,37 @@ func (n *Network) SetParamVector(v []float64) {
 	}
 }
 
+// ParamVector32 returns all parameters flattened into one float32
+// vector, aligned with ParamVector: each weight is quantized with one
+// round-to-nearest-even conversion. This is the representation f32-mode
+// FL clients upload — half the bytes of the float64 vector.
+func (n *Network) ParamVector32() []float32 {
+	out := make([]float32, 0, n.NumParams())
+	for _, p := range n.Params() {
+		for _, v := range p.Data {
+			out = append(out, float32(v))
+		}
+	}
+	return out
+}
+
+// SetParamVector32 loads a flat float32 parameter vector produced by
+// ParamVector32 on a network of identical architecture, widening each
+// weight exactly (every float32 is representable in float64).
+func (n *Network) SetParamVector32(v []float32) {
+	want := n.NumParams()
+	if len(v) != want {
+		panic(fmt.Sprintf("nn: SetParamVector32 length %d, want %d", len(v), want))
+	}
+	off := 0
+	for _, p := range n.Params() {
+		for i := range p.Data {
+			p.Data[i] = float64(v[off+i])
+		}
+		off += p.Len()
+	}
+}
+
 // GradVector returns a copy of all gradients flattened, aligned with
 // ParamVector.
 func (n *Network) GradVector() []float64 {

@@ -30,7 +30,12 @@ import (
 // by one whole-batch colsᵀ·dRes product instead of per-sample partial
 // sums, which regroups the floating-point additions and shifts cell
 // outputs by rounding-level amounts.
-const CacheSchema = 2
+//
+// v3: float32 precision mode — Scale gains a Precision axis (hashed
+// into the cell key) and checkpoints gain the optional Vectors32
+// section; pre-precision records must re-run so every cached cell
+// carries an explicit precision lineage.
+const CacheSchema = 3
 
 // cacheSchemaKey is the metadata key carrying a record's schema version.
 const cacheSchemaKey = "cache-schema"

@@ -65,6 +65,42 @@ func ReadVector(r io.Reader) ([]float64, error) {
 	return out, nil
 }
 
+// WriteVector32 writes a float32 vector with a length prefix — the
+// half-width wire encoding of f32 precision mode (4 bytes per weight).
+func WriteVector32(w io.Writer, v []float32) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(v))); err != nil {
+		return fmt.Errorf("serialize: vector32 length: %w", err)
+	}
+	buf := make([]byte, 4*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(f))
+	}
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("serialize: vector32 payload: %w", err)
+	}
+	return nil
+}
+
+// ReadVector32 reads a vector written by WriteVector32.
+func ReadVector32(r io.Reader) ([]float32, error) {
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("serialize: vector32 length: %w", err)
+	}
+	if n > maxLen/4 {
+		return nil, fmt.Errorf("serialize: vector32 length %d exceeds limit", n)
+	}
+	buf := make([]byte, 4*int(n))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("serialize: vector32 payload: %w", err)
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[i*4:]))
+	}
+	return out, nil
+}
+
 // WriteString writes a length-prefixed UTF-8 string.
 func WriteString(w io.Writer, s string) error {
 	if err := binary.Write(w, binary.LittleEndian, uint32(len(s))); err != nil {
@@ -93,15 +129,24 @@ func ReadString(r io.Reader) (string, error) {
 }
 
 // Checkpoint is a named collection of vectors (e.g. "policy", "value",
-// "global") plus free-form metadata.
+// "global") plus free-form metadata. Vectors32 carries half-width
+// payloads (f32 precision mode); it is encoded as an appended section
+// that legacy streams simply lack, so old checkpoints decode with an
+// empty Vectors32 and checkpoints without f32 payloads encode
+// byte-identically to the legacy layout.
 type Checkpoint struct {
-	Meta    map[string]string
-	Vectors map[string][]float64
+	Meta      map[string]string
+	Vectors   map[string][]float64
+	Vectors32 map[string][]float32
 }
 
 // NewCheckpoint returns an empty checkpoint.
 func NewCheckpoint() *Checkpoint {
-	return &Checkpoint{Meta: map[string]string{}, Vectors: map[string][]float64{}}
+	return &Checkpoint{
+		Meta:      map[string]string{},
+		Vectors:   map[string][]float64{},
+		Vectors32: map[string][]float32{},
+	}
 }
 
 // Write encodes the checkpoint to w.
@@ -130,6 +175,19 @@ func (c *Checkpoint) Write(w io.Writer) error {
 		}
 		if err := WriteVector(bw, c.Vectors[k]); err != nil {
 			return err
+		}
+	}
+	if len(c.Vectors32) > 0 {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(c.Vectors32))); err != nil {
+			return fmt.Errorf("serialize: vector32 count: %w", err)
+		}
+		for _, k := range sortedVec32Keys(c.Vectors32) {
+			if err := WriteString(bw, k); err != nil {
+				return err
+			}
+			if err := WriteVector32(bw, c.Vectors32[k]); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
@@ -181,6 +239,29 @@ func Read(r io.Reader) (*Checkpoint, error) {
 		}
 		c.Vectors[k] = v
 	}
+	// The float32 section is optional: legacy streams end here, so a
+	// clean EOF means an empty Vectors32, not corruption.
+	var nVec32 uint32
+	if err := binary.Read(r, binary.LittleEndian, &nVec32); err != nil {
+		if errors.Is(err, io.EOF) {
+			return c, nil
+		}
+		return nil, fmt.Errorf("serialize: vector32 count: %w", err)
+	}
+	if nVec32 > 1<<20 {
+		return nil, fmt.Errorf("serialize: vector32 count %d exceeds limit", nVec32)
+	}
+	for i := uint32(0); i < nVec32; i++ {
+		k, err := ReadString(r)
+		if err != nil {
+			return nil, err
+		}
+		v, err := ReadVector32(r)
+		if err != nil {
+			return nil, err
+		}
+		c.Vectors32[k] = v
+	}
 	return c, nil
 }
 
@@ -227,6 +308,11 @@ func LoadFile(path string) (*Checkpoint, error) {
 // the per-message payload accounting of §5.3.
 func VectorWireSize(n int) int { return 4 + 8*n }
 
+// VectorWireSize32 returns the encoded byte size of a float32 vector:
+// 4 bytes per weight, half the float64 payload — the f32-mode uplink
+// and downlink accounting.
+func VectorWireSize32(n int) int { return 4 + 4*n }
+
 func sortedKeys(m map[string]string) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
@@ -237,6 +323,15 @@ func sortedKeys(m map[string]string) []string {
 }
 
 func sortedVecKeys(m map[string][]float64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	return keys
+}
+
+func sortedVec32Keys(m map[string][]float32) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)

@@ -6,13 +6,20 @@ import (
 )
 
 // Kernel backend dispatch. The numeric kernels — the blocked GEMM
-// micro-kernels (blocked.go) and the vectorized elementwise layer
-// (elemwise.go) — have one implementation per SIMD capability tier:
+// micro-kernels (blocked.go, blocked32.go) and the vectorized
+// elementwise layers (elemwise.go, elemwise32.go) — are
+// precision-parametric: every tier serves both element widths, with
+// f32 vectors carrying twice the lanes of their f64 twins:
 //
-//	avx512   amd64, 8-wide ZMM (AVX-512F, OS-enabled): 8×8 GEMM tiles
-//	avx      amd64, 4-wide YMM (AVX, OS-enabled): 4×4 GEMM tiles
-//	neon     arm64, 2-wide float64x2 (baseline ASIMD): 4×4 GEMM tiles
-//	generic  pure Go, any GOARCH
+//	backend   f64 lanes / GEMM tile      f32 lanes / GEMM tile
+//	avx512    8-wide ZMM, 8×8 tiles      16-wide ZMM, 8×16 tiles
+//	avx       4-wide YMM, 4×4 tiles      8-wide YMM, 4×8 tiles
+//	neon      2-wide, 4×4 tiles          generic core (no f32 kernel)
+//	generic   pure Go, 4×4 tiles         pure Go, 4×4 tiles
+//
+// (amd64 offers avx512/avx, arm64 neon; the generic core covers every
+// GOARCH and both widths via the shared generic element kernels of
+// generic.go.)
 //
 // Every tier obeys the same determinism contract: one rounding per
 // multiply and one per add, never fused, with each output element
@@ -135,6 +142,29 @@ func kernelMR() int {
 
 func kernelNR() int {
 	if useAVX512 {
+		return 8
+	}
+	return 4
+}
+
+// kernelMR32 and kernelNR32 are the register-tile dimensions of the
+// active GEMM backend's float32 micro-kernel: 8×16 ZMM tiles on avx512,
+// 4×8 YMM tiles on avx, 4×4 otherwise (neon has no f32 kernel and runs
+// the portable generic tile). As with the f64 geometry, tiling cannot
+// change results — every output element's accumulation chain is the
+// same whatever tile it lands in.
+func kernelMR32() int {
+	if useAVX512 {
+		return 8
+	}
+	return 4
+}
+
+func kernelNR32() int {
+	switch {
+	case useAVX512:
+		return 16
+	case useAVX:
 		return 8
 	}
 	return 4

@@ -37,11 +37,6 @@ package tensor
 // pool width, including no pool at all.
 
 const (
-	// mrMax × nrMax bounds the register tile across backends (the
-	// avx512 micro-kernel's 8×8); microEdge sizes its accumulator
-	// array with it.
-	mrMax = 8
-	nrMax = 8
 	// kcBlock is the reduction-panel length; one packed B tile column
 	// (kcBlock·nr floats) stays L1-resident while A tiles stream by.
 	kcBlock = 256
@@ -154,55 +149,11 @@ func bpSize(n, kc, nr int) int {
 
 // gemmNaive computes the variant with plain triple loops — the reference
 // the blocked kernel must match bit for bit, and the fast path for the
-// small matrices of the DRL nets. Every output element accumulates its
-// terms in ascending reduction order with no zero-skip branches.
+// small matrices of the DRL nets. The loops themselves live in the
+// generic element core (gemmNaiveG, generic.go), instantiated here at
+// float64.
 func gemmNaive(dst, a, b *Tensor, v gemmVariant) {
-	ad, bd, dd := a.Data, b.Data, dst.Data
-	switch v {
-	case gemmNN:
-		m, k, n := a.Rows(), a.Cols(), b.Cols()
-		for i := 0; i < m; i++ {
-			di := dd[i*n : (i+1)*n]
-			for x := range di {
-				di[x] = 0
-			}
-			ai := ad[i*k : (i+1)*k]
-			for p, av := range ai {
-				bp := bd[p*n : (p+1)*n]
-				for j, bv := range bp {
-					di[j] += float64(av * bv)
-				}
-			}
-		}
-	case gemmAT:
-		m, k := a.Rows(), a.Cols()
-		n := b.Cols()
-		dst.Zero()
-		for i := 0; i < m; i++ {
-			ai := ad[i*k : (i+1)*k]
-			bi := bd[i*n : (i+1)*n]
-			for p, av := range ai {
-				dp := dd[p*n : (p+1)*n]
-				for j, bv := range bi {
-					dp[j] += float64(av * bv)
-				}
-			}
-		}
-	case gemmBT:
-		m, k, n := a.Rows(), a.Cols(), b.Rows()
-		for i := 0; i < m; i++ {
-			ai := ad[i*k : (i+1)*k]
-			di := dd[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				bj := bd[j*k : (j+1)*k]
-				sum := 0.0
-				for p, av := range ai {
-					sum += float64(av * bj[p])
-				}
-				di[j] = sum
-			}
-		}
-	}
+	gemmNaiveG(dst.Data, a.Data, a.Rows(), a.Cols(), b.Data, b.Rows(), b.Cols(), v)
 }
 
 // gemmBlockedRange runs the blocked kernel over output rows [rs, re).
@@ -218,14 +169,14 @@ func gemmBlockedRange(dst, a, b *Tensor, v gemmVariant, rs, re int, ap, bp []flo
 		if kc > kcBlock {
 			kc = kcBlock
 		}
-		packB(bp, b, a, v, p0, kc, n, nr)
+		packBG(bp, b.Data, b.Rows(), b.Cols(), v, p0, kc, n, nr)
 		first := p0 == 0
 		for i0 := rs; i0 < re; i0 += mcBlock {
 			ib := re - i0
 			if ib > mcBlock {
 				ib = mcBlock
 			}
-			packA(ap, a, b, v, i0, ib, p0, kc, mr)
+			packAG(ap, a.Data, a.Rows(), a.Cols(), v, i0, ib, p0, kc, mr)
 			mTiles := (ib + mr - 1) / mr
 			for it := 0; it < mTiles; it++ {
 				mv := ib - it*mr
@@ -250,10 +201,10 @@ func gemmBlockedRange(dst, a, b *Tensor, v gemmVariant, rs, re int, ap, bp []flo
 						case useNEON:
 							microNeon4x4(kc, &apTile[0], &bpTile[0], &c[0], n, first)
 						default:
-							micro4x4(kc, apTile, bpTile, c, n, first)
+							micro4x4G(kc, apTile, bpTile, c, n, first)
 						}
 					} else {
-						microEdge(kc, apTile, bpTile, c, n, mv, nv, mr, nr, first)
+						microEdgeG(kc, apTile, bpTile, c, n, mv, nv, mr, nr, first)
 					}
 				}
 			}
@@ -261,154 +212,6 @@ func gemmBlockedRange(dst, a, b *Tensor, v gemmVariant, rs, re int, ap, bp []flo
 	}
 }
 
-// packB packs the reduction panel [p0, p0+kc) of op(b) into nr-wide
-// column tiles: bp[tile*kc*nr + p*nr + c] = op(b)[p0+p][tile*nr+c].
-// Slots of a partial edge tile are left unwritten; only microEdge reads
-// that tile and it stays within the valid columns.
-func packB(bp []float64, b, a *Tensor, v gemmVariant, p0, kc, n, nr int) {
-	bd := b.Data
-	switch v {
-	case gemmBT:
-		// op(b)[p][j] = b[j][p]; b is n×k, rows contiguous in p.
-		kPhys := b.Cols()
-		for jt := 0; jt*nr < n; jt++ {
-			off := jt * kc * nr
-			nv := n - jt*nr
-			if nv > nr {
-				nv = nr
-			}
-			for c := 0; c < nv; c++ {
-				src := bd[(jt*nr+c)*kPhys+p0:]
-				for p := 0; p < kc; p++ {
-					bp[off+p*nr+c] = src[p]
-				}
-			}
-		}
-	default:
-		// op(b)[p][j] = b[p][j] for both NN and AT.
-		for jt := 0; jt*nr < n; jt++ {
-			off := jt * kc * nr
-			j0 := jt * nr
-			nv := n - j0
-			if nv > nr {
-				nv = nr
-			}
-			for p := 0; p < kc; p++ {
-				copy(bp[off+p*nr:off+p*nr+nv], bd[(p0+p)*n+j0:])
-			}
-		}
-	}
-}
-
-// packA packs rows [i0, i0+ib) of op(a) over the reduction panel
-// [p0, p0+kc) into mr-tall row tiles:
-// ap[tile*kc*mr + p*mr + r] = op(a)[tile*mr+r][p0+p].
-func packA(ap []float64, a, b *Tensor, v gemmVariant, i0, ib, p0, kc, mr int) {
-	ad := a.Data
-	switch v {
-	case gemmAT:
-		// op(a)[i][p] = a[p][i]; a is k×m, rows contiguous in i.
-		mPhys := a.Cols()
-		for it := 0; it*mr < ib; it++ {
-			off := it * kc * mr
-			mv := ib - it*mr
-			if mv > mr {
-				mv = mr
-			}
-			base := i0 + it*mr
-			for p := 0; p < kc; p++ {
-				src := ad[(p0+p)*mPhys+base:]
-				dstRow := ap[off+p*mr:]
-				for r := 0; r < mv; r++ {
-					dstRow[r] = src[r]
-				}
-			}
-		}
-	default:
-		// op(a)[i][p] = a[i][p] for both NN and BT.
-		kPhys := a.Cols()
-		for it := 0; it*mr < ib; it++ {
-			off := it * kc * mr
-			mv := ib - it*mr
-			if mv > mr {
-				mv = mr
-			}
-			for r := 0; r < mv; r++ {
-				src := ad[(i0+it*mr+r)*kPhys+p0:]
-				for p := 0; p < kc; p++ {
-					ap[off+p*mr+r] = src[p]
-				}
-			}
-		}
-	}
-}
-
-// micro4x4 computes one full 4×4 output tile over a kc-long packed
-// panel. c points at the tile's top-left element of the row-major
-// output with leading dimension ldc. first selects overwrite (panel 0)
-// versus accumulate-on-top (later panels).
-func micro4x4(kc int, ap, bp, c []float64, ldc int, first bool) {
-	var c00, c01, c02, c03 float64
-	var c10, c11, c12, c13 float64
-	var c20, c21, c22, c23 float64
-	var c30, c31, c32, c33 float64
-	r1, r2, r3 := c[ldc:], c[2*ldc:], c[3*ldc:]
-	if !first {
-		c00, c01, c02, c03 = c[0], c[1], c[2], c[3]
-		c10, c11, c12, c13 = r1[0], r1[1], r1[2], r1[3]
-		c20, c21, c22, c23 = r2[0], r2[1], r2[2], r2[3]
-		c30, c31, c32, c33 = r3[0], r3[1], r3[2], r3[3]
-	}
-	ap = ap[: kc*4 : kc*4]
-	bp = bp[: kc*4 : kc*4]
-	for p := 0; p < kc; p++ {
-		a0, a1, a2, a3 := ap[p*4], ap[p*4+1], ap[p*4+2], ap[p*4+3]
-		b0, b1, b2, b3 := bp[p*4], bp[p*4+1], bp[p*4+2], bp[p*4+3]
-		c00 += float64(a0 * b0)
-		c01 += float64(a0 * b1)
-		c02 += float64(a0 * b2)
-		c03 += float64(a0 * b3)
-		c10 += float64(a1 * b0)
-		c11 += float64(a1 * b1)
-		c12 += float64(a1 * b2)
-		c13 += float64(a1 * b3)
-		c20 += float64(a2 * b0)
-		c21 += float64(a2 * b1)
-		c22 += float64(a2 * b2)
-		c23 += float64(a2 * b3)
-		c30 += float64(a3 * b0)
-		c31 += float64(a3 * b1)
-		c32 += float64(a3 * b2)
-		c33 += float64(a3 * b3)
-	}
-	c[0], c[1], c[2], c[3] = c00, c01, c02, c03
-	r1[0], r1[1], r1[2], r1[3] = c10, c11, c12, c13
-	r2[0], r2[1], r2[2], r2[3] = c20, c21, c22, c23
-	r3[0], r3[1], r3[2], r3[3] = c30, c31, c32, c33
-}
-
-// microEdge computes a partial tile of mv×nv valid elements (tile
-// strides in the packed panels stay the backend's mr/nr).
-func microEdge(kc int, ap, bp, c []float64, ldc, mv, nv, mr, nr int, first bool) {
-	var acc [mrMax][nrMax]float64
-	if !first {
-		for r := 0; r < mv; r++ {
-			for j := 0; j < nv; j++ {
-				acc[r][j] = c[r*ldc+j]
-			}
-		}
-	}
-	for p := 0; p < kc; p++ {
-		for r := 0; r < mv; r++ {
-			av := ap[p*mr+r]
-			for j := 0; j < nv; j++ {
-				acc[r][j] += float64(av * bp[p*nr+j])
-			}
-		}
-	}
-	for r := 0; r < mv; r++ {
-		for j := 0; j < nv; j++ {
-			c[r*ldc+j] = acc[r][j]
-		}
-	}
-}
+// The packing routines (packAG/packBG) and the portable micro-kernels
+// (micro4x4G/microEdgeG) live in the generic element core (generic.go),
+// shared verbatim with the float32 arm (blocked32.go).

@@ -9,12 +9,13 @@ package tensor
 // Determinism: elementwise ops are per-element independent, so splitting
 // a slice into a vector body and a scalar tail cannot change any
 // element's rounding; each kernel still performs one rounding per
-// multiply and one per add, never fused. The scalar loops spell the
-// multiply as float64(a*b): the explicit conversion forces the product
-// to round to float64 before the add, which by the Go spec forbids the
-// compiler from contracting the pair into a fused multiply-add (the
-// arm64 compiler otherwise emits FMADD) — a no-op on amd64 and the
-// reason generic results are bit-identical across GOARCHes.
+// multiply and one per add, never fused. The scalar tails come from the
+// generic element core (generic.go), shared with the float32 layer
+// (elemwise32.go); they spell the multiply as E(a*b), the explicit
+// conversion that forces the product to round before the add and by the
+// Go spec forbids compiler FMA contraction (the arm64 compiler
+// otherwise emits FMADD) — a no-op on amd64 and the reason generic
+// results are bit-identical across GOARCHes.
 //
 // Aliasing: out may be exactly x (or g) or fully disjoint; partial
 // overlap is not supported.
@@ -37,9 +38,7 @@ func Axpy(alpha float64, x, y []float64) {
 			i = v
 		}
 	}
-	for ; i < n; i++ {
-		y[i] += float64(alpha * x[i])
-	}
+	axpyTailG(alpha, x, y, i)
 }
 
 // Scale computes x[i] *= alpha in place.
@@ -58,9 +57,7 @@ func Scale(alpha float64, x []float64) {
 			i = v
 		}
 	}
-	for ; i < n; i++ {
-		x[i] *= alpha
-	}
+	scaleTailG(alpha, x, i)
 }
 
 // Add computes y[i] += x[i] over len(x) elements.
@@ -80,9 +77,7 @@ func Add(x, y []float64) {
 			i = v
 		}
 	}
-	for ; i < n; i++ {
-		y[i] += x[i]
-	}
+	addTailG(x, y, i)
 }
 
 // ReLUForward computes out[i] = x[i] if x[i] > 0 else 0, keeping NaN
@@ -97,13 +92,7 @@ func ReLUForward(x, out []float64) {
 			i = v
 		}
 	}
-	for ; i < n; i++ {
-		if v := x[i]; v <= 0 {
-			out[i] = 0
-		} else {
-			out[i] = v
-		}
-	}
+	reluFwdTailG(x, out, i)
 }
 
 // ReLUBackward computes out[i] = g[i] if x[i] > 0 else 0, passing the
@@ -118,13 +107,7 @@ func ReLUBackward(x, g, out []float64) {
 			i = v
 		}
 	}
-	for ; i < n; i++ {
-		if x[i] <= 0 {
-			out[i] = 0
-		} else {
-			out[i] = g[i]
-		}
-	}
+	reluBwdTailG(x, g, out, i)
 }
 
 // LeakyReLUForward computes out[i] = alpha·x[i] if x[i] < 0 else x[i]
@@ -139,13 +122,7 @@ func LeakyReLUForward(alpha float64, x, out []float64) {
 			i = v
 		}
 	}
-	for ; i < n; i++ {
-		if v := x[i]; v < 0 {
-			out[i] = float64(alpha * v)
-		} else {
-			out[i] = v
-		}
-	}
+	leakyFwdTailG(alpha, x, out, i)
 }
 
 // LeakyReLUBackward computes out[i] = alpha·g[i] if x[i] < 0 else g[i].
@@ -159,11 +136,5 @@ func LeakyReLUBackward(alpha float64, x, g, out []float64) {
 			i = v
 		}
 	}
-	for ; i < n; i++ {
-		if x[i] < 0 {
-			out[i] = float64(g[i] * alpha)
-		} else {
-			out[i] = g[i]
-		}
-	}
+	leakyBwdTailG(alpha, x, g, out, i)
 }

@@ -1,16 +1,21 @@
-// Package tensor implements the dense float64 tensors used as the data
-// substrate of the neural-network library. Only the operations needed by
-// the FedDRL reproduction are provided: construction and shape queries,
-// element access, matrix multiplication, transpose, and the
-// im2col/col2im lowering used by the convolution layers.
+// Package tensor implements the precision-parametric dense tensors used
+// as the data substrate of the neural-network library: float64 (Tensor,
+// the default) and float32 (Tensor32) storage arms over one generic
+// element core (generic.go). Only the operations needed by the FedDRL
+// reproduction are provided: construction and shape queries, element
+// access, matrix multiplication, transpose, the im2col/col2im lowering
+// used by the convolution layers, and exact f64↔f32 conversion
+// (Widen/Quantize) at the precision boundary.
 //
-// The matrix-product kernels are cache-blocked and register-tiled (see
-// blocked.go) with reusable packing scratch, so steady-state training
-// allocates nothing, and they optionally fan out over the execution
-// pool installed via SetParallel — never over raw goroutines — so
-// kernel parallelism composes with the work-stealing scheduler instead
-// of oversubscribing it. Blocked, naive, sequential and parallel paths
-// are all bit-identical by construction.
+// The matrix-product kernels of both widths are cache-blocked and
+// register-tiled (blocked.go, blocked32.go) with reusable packing
+// scratch, so steady-state training allocates nothing, and they
+// optionally fan out over the execution pool installed via SetParallel
+// — never over raw goroutines — so kernel parallelism composes with
+// the work-stealing scheduler instead of oversubscribing it. Blocked,
+// naive, sequential and parallel paths are all bit-identical by
+// construction, within each precision (see backend.go for the
+// backend×precision kernel table).
 //
 // Tensors are row-major. A 2-D tensor of shape (r, c) stores element
 // (i, j) at Data[i*c+j]. Batched activations are 2-D: (batch, features).
@@ -314,31 +319,11 @@ func Im2ColBatch(g ConvGeom, x, cols *Tensor) {
 	}
 }
 
-// im2colCore fills cd (length OutH·OutW·InC·K·K) from one image.
+// im2colCore fills cd (length OutH·OutW·InC·K·K) from one image. The
+// loop nest lives in the generic element core (im2colCoreG), shared
+// with the float32 arm (Im2Col32).
 func im2colCore(g ConvGeom, img []float64, cd []float64) {
-	oh, ow := g.OutH(), g.OutW()
-	idx := 0
-	for oy := 0; oy < oh; oy++ {
-		for ox := 0; ox < ow; ox++ {
-			baseY := oy*g.Stride - g.Pad
-			baseX := ox*g.Stride - g.Pad
-			for c := 0; c < g.InC; c++ {
-				chanOff := c * g.InH * g.InW
-				for ky := 0; ky < g.K; ky++ {
-					y := baseY + ky
-					for kx := 0; kx < g.K; kx++ {
-						x := baseX + kx
-						if y >= 0 && y < g.InH && x >= 0 && x < g.InW {
-							cd[idx] = img[chanOff+y*g.InW+x]
-						} else {
-							cd[idx] = 0
-						}
-						idx++
-					}
-				}
-			}
-		}
-	}
+	im2colCoreG(g, img, cd)
 }
 
 // Col2Im accumulates the column-matrix gradient back into an image
@@ -377,27 +362,8 @@ func Col2ImBatch(g ConvGeom, cols, imgs *Tensor) {
 	}
 }
 
-// col2imCore accumulates cd (one sample's column block) into img.
+// col2imCore accumulates cd (one sample's column block) into img via
+// the shared generic core (col2imCoreG).
 func col2imCore(g ConvGeom, cd []float64, img []float64) {
-	oh, ow := g.OutH(), g.OutW()
-	idx := 0
-	for oy := 0; oy < oh; oy++ {
-		for ox := 0; ox < ow; ox++ {
-			baseY := oy*g.Stride - g.Pad
-			baseX := ox*g.Stride - g.Pad
-			for c := 0; c < g.InC; c++ {
-				chanOff := c * g.InH * g.InW
-				for ky := 0; ky < g.K; ky++ {
-					y := baseY + ky
-					for kx := 0; kx < g.K; kx++ {
-						x := baseX + kx
-						if y >= 0 && y < g.InH && x >= 0 && x < g.InW {
-							img[chanOff+y*g.InW+x] += cd[idx]
-						}
-						idx++
-					}
-				}
-			}
-		}
-	}
+	col2imCoreG(g, cd, img)
 }

@@ -53,6 +53,23 @@ go test -run 'TestTrainStepAllocsDense|TestTrainStepAllocsConv|TestScratchPathMa
 # kernels stand alone (and that the override is honored end to end).
 TENSOR_BACKEND=generic go test -run 'TestBlockedBitIdentity|TestElemwiseBitIdentity|TestParallelStripesBitIdentical|TestBackendHonorsEnv' ./internal/tensor/
 
+# Float32 kernel gates: the f32 GEMM/elemwise kernels must be
+# bit-identical to their naive f32 references on every backend in the
+# host's chain (the suite forces each tier itself), including the
+# non-finite special-value sweep and the f64↔f32 conversion round trip
+# — and the same suite must hold with every SIMD tier disabled.
+go test -run 'TestBlocked32BitIdentity|TestBlocked32SpecialValues|TestElemwise32BitIdentity|TestParallelStripes32BitIdentical|TestIm2Col32MatchesFloat64|TestWidenQuantizeRoundTrip|TestKernelScratchReuse32' ./internal/tensor/
+TENSOR_BACKEND=generic go test -run 'TestBlocked32BitIdentity|TestBlocked32SpecialValues|TestElemwise32BitIdentity|TestParallelStripes32BitIdentical' ./internal/tensor/
+
+# Float32 precision-mode determinism gate under -race: an F32 run must
+# be bit-identical across eager/virtual construction, across worker
+# counts 1/2/4/8 and across kernel backends, the degenerate async trace
+# must reproduce RunVirtual under F32, the f32 merge must be
+# pool-width-invariant, and the global model must stay on the float32
+# lattice. The -precision CLI surface rides the cmd test suites in the
+# full `go test ./...` above.
+go test -race -run 'TestF32EagerVirtualBitIdentical|TestF32AsyncDegenerateMatchesVirtual|TestF32BitIdenticalAcrossBackends|TestF32GlobalStaysOnLattice|TestAggregate32PoolInvariance' ./internal/fl/
+
 # Shard-merge round trip: running Table 3 as two shards and merging the
 # artifact files must reproduce the unsharded output byte for byte
 # (modulo the one-line timing header, which `tail -n +2` strips).
