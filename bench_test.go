@@ -320,6 +320,15 @@ func asyncBenchTrace(cfg RunConfig) AsyncConfig {
 	}
 }
 
+// mustAsyncBench unwraps RunAsync's (result, error) pair for the bench
+// fixtures, whose drop rates are far below the starvation threshold.
+func mustAsyncBench(r *AsyncResult, err error) *AsyncResult {
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
 // BenchmarkEngineRoundLoopAsync is the bench-smoke entry for the async
 // engine (the name matches the EngineRoundLoop pattern, so `make
 // bench-smoke` picks it up); the JSON record comes from
@@ -332,7 +341,7 @@ func BenchmarkEngineRoundLoopAsync(b *testing.B) {
 		b.StopTimer()
 		cp := mkPool()
 		b.StartTimer()
-		_ = RunAsync(acfg, cp, nil, FedAvg{})
+		_ = mustAsyncBench(RunAsync(acfg, cp, nil, FedAvg{}))
 	}
 }
 
@@ -377,11 +386,11 @@ func measureAsyncRound() asyncRoundJSON {
 	var syncW, degW []float64
 	rec.SyncNsPerRound = best(func() { syncW = RunVirtual(cfg, mkPool(), nil, FedAvg{}).Weights })
 	rec.DegenerateNsPerRound = best(func() {
-		degW = RunAsync(AsyncConfig{RunConfig: cfg}, mkPool(), nil, FedAvg{}).Weights
+		degW = mustAsyncBench(RunAsync(AsyncConfig{RunConfig: cfg}, mkPool(), nil, FedAvg{})).Weights
 	})
 	var stale float64
 	rec.TraceNsPerRound = best(func() {
-		stale = RunAsync(asyncBenchTrace(cfg), mkPool(), nil, FedAvg{}).MeanStaleness()
+		stale = mustAsyncBench(RunAsync(asyncBenchTrace(cfg), mkPool(), nil, FedAvg{})).MeanStaleness()
 	})
 	rec.TraceMeanStaleness = stale
 	rec.DegenerateBitIdentical = len(syncW) == len(degW)

@@ -40,6 +40,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	exploreDecay := fs.Float64("exploredecay", 0.99, "FedDRL exploration decay per action")
 	workers := fs.Int("workers", 0, "work-stealing engine lanes shared by client training, evaluation and the weight merge (0 = sequential, -1 = GOMAXPROCS); results are identical at any width")
 	precName := fs.String("precision", "f64", "federated-state width: f64 (full, the default) or f32 (half-width uploads and merge; local training stays f64; SingleSet ignores it)")
+	attackName := fs.String("attack", "none", "Byzantine fault model corrupting a seeded identity-stable client fraction: none, signflip, gauss, replace, collude or labelflip")
+	attackFrac := fs.Float64("attack-frac", 0.2, "malicious client fraction for -attack (identity-stable across rounds)")
+	mergerName := fs.String("merger", "", "server merge rule: weighted (the default impact-factor merge), median, trimmed or krum")
 	seed := fs.Uint64("seed", 1, "run seed")
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -49,6 +52,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	prec, err := feddrl.ParsePrecision(*precName)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 2
+	}
+	attack, err := feddrl.ParseAttack(*attackName, *attackFrac)
 	if err != nil {
 		fmt.Fprintf(stderr, "%v\n", err)
 		return 2
@@ -100,6 +108,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if engineWorkers < 0 {
 		engineWorkers = 0 // RunConfig: 0 + Parallel resolves to GOMAXPROCS
 	}
+	// Krum sizes its tolerated-fault count f from the malicious
+	// fraction, so the merger parses once K is clamped.
+	merger, err := feddrl.ParseMerger(*mergerName, *attackFrac, kk)
+	if err != nil {
+		fmt.Fprintf(stderr, "%v\n", err)
+		return 2
+	}
 	cfg := feddrl.RunConfig{
 		Rounds:   *rounds,
 		K:        kk,
@@ -109,6 +124,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Workers:   engineWorkers,
 		Parallel:  *workers < 0,
 		Precision: prec,
+		Attack:    attack,
+		Merger:    merger,
 	}
 
 	var res *feddrl.Result

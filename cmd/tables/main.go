@@ -9,6 +9,8 @@
 //	tables -merge shards/                       # recombine shard artifacts and render
 //	tables -exp table3 -cache cells/            # skip cells cached by earlier runs
 //	tables -exp table3 -precision f32           # half-width federated state
+//	tables -exp byzantine                       # attack × robust-merge grid
+//	tables -exp table3 -attack signflip -attack-frac 0.2 -merger median
 //	tables -cache-gc -cache cells/ -cache-max-bytes 1000000
 //	tables -list
 //
@@ -16,7 +18,10 @@
 // table4, figure4..figure10), the DESIGN.md ablations
 // (ablation-reward, ablation-statenorm, ablation-twostage), and the
 // async-vs-sync substrate comparison (async-sync), whose "+async" rows
-// must reproduce their synchronous base rows exactly.
+// must reproduce their synchronous base rows exactly, and the Byzantine
+// robustness grid (byzantine): seeded attacks × robust merge rules.
+// -attack/-attack-frac/-merger instead apply one scale-wide fault model
+// and merge rule to any grid experiment's cells.
 //
 // Sharding: a grid experiment's cells are enumerated in a deterministic
 // canonical order, and -shard i/n runs exactly the cells whose position
@@ -74,6 +79,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	rounds := fs.Int("rounds", 0, "override the scale's communication rounds (0 = keep)")
 	workers := fs.Int("workers", 0, "work-stealing engine lanes shared by the experiment grid, every federated run and every evaluation (0 = the scale's default, -1 = GOMAXPROCS); output is identical at any width")
 	precName := fs.String("precision", "f64", "federated-state width for every cell: f64 (full, the default) or f32 (half-width uploads and merge); f32 and f64 cells have separate cache keys")
+	attackName := fs.String("attack", "none", "scale-wide Byzantine fault model for every cell: none, signflip, gauss, replace, collude or labelflip; attacked cells have separate cache keys")
+	attackFrac := fs.Float64("attack-frac", 0.2, "malicious client fraction for -attack")
+	mergerName := fs.String("merger", "", "scale-wide server merge rule for every cell: weighted (the default impact-factor merge), median, trimmed or krum")
 	seeds := fs.Int("seeds", 1, "seed replicates per cell; >1 renders mean±std columns (grid experiments with a multi-seed renderer)")
 	shard := fs.String("shard", "", "run a deterministic slice of a grid experiment, as i/n (e.g. 1/2); writes a binary artifact file instead of text")
 	merge := fs.String("merge", "", "merge the shard artifact files (*.art) in this directory and render the combined experiment")
@@ -161,6 +169,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	// default share cache records; F32 cells hash to distinct addresses.
 	if prec == feddrl.F32 {
 		scale.Precision = string(prec)
+	}
+	// Same canonicalization for the Byzantine knobs: only a real attack
+	// or a non-default merge rule reaches the Scale (and hence the cell
+	// cache addresses); "-attack none"/"-merger weighted" spellings stay
+	// byte-identical to the defaults. Validation runs regardless so a
+	// typo fails fast.
+	attack, err := feddrl.ParseAttack(*attackName, *attackFrac)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if _, err := feddrl.ParseMerger(*mergerName, *attackFrac, 2); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if attack != nil {
+		scale.Attack = *attackName
+		scale.AttackFrac = *attackFrac
+	}
+	if *mergerName != "" && *mergerName != "weighted" {
+		scale.Merger = *mergerName
 	}
 	if *seeds < 1 {
 		fmt.Fprintln(stderr, "tables: -seeds must be >= 1")

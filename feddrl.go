@@ -25,6 +25,13 @@
 //     sequential and whose nested loops stay parallel under saturation
 //   - aggregators: FedAvg, FedProx, NewFedDRL (the paper's contribution),
 //     or any custom Aggregator implementation
+//   - Byzantine robustness: seeded AttackModel fault injection
+//     (SignFlip, GaussianNoise, ModelReplacement, Colluding, LabelFlip)
+//     over an identity-stable malicious subset, robust Mergers (Median,
+//     TrimmedMean, Krum) replacing the weighted merge, and a
+//     server-side QuarantineConfig gate screening non-finite or
+//     norm-exploded uploads — all deterministic across worker counts
+//     and engines, with the zero values bit-identical to a benign run
 //   - the DRL agent: NewAgent, DefaultAgentConfig, TrainTwoStage
 //   - experiment harness: ExperimentNames, RunExperiment and the
 //     CIScale/MediumScale/PaperScale presets
@@ -113,6 +120,78 @@ type (
 	Population = fl.Population
 	// Precision selects the federated-state width of a run (F64 or F32).
 	Precision = fl.Precision
+)
+
+// Byzantine fault injection and robust aggregation. An AttackModel set
+// on RunConfig.Attack corrupts the uploads of a seeded, identity-stable
+// malicious fraction of the fleet; a Merger set on RunConfig.Merger
+// replaces the default impact-factor weighted merge; QuarantineConfig
+// screens arriving uploads at the server ingress. All three compose
+// with every engine (Run, RunVirtual, RunAsync) and stay bit-identical
+// across worker counts; their zero values reproduce a benign run bit
+// for bit.
+type (
+	// AttackModel is the pluggable Byzantine fault model: a seeded,
+	// identity-stable malicious subset whose uploads are corrupted
+	// deterministically each round.
+	AttackModel = fl.AttackModel
+	// DataAttack is the optional data-poisoning face of an attack:
+	// malicious clients train on corrupted shards (see LabelFlip).
+	DataAttack = fl.DataAttack
+	// ByzantineSet is the embeddable malicious-fraction selector shared
+	// by the built-in attacks.
+	ByzantineSet = fl.ByzantineSet
+	// SignFlip negates (and optionally scales) malicious uploads.
+	SignFlip = fl.SignFlip
+	// GaussianNoise adds seeded Gaussian noise to malicious uploads.
+	GaussianNoise = fl.GaussianNoise
+	// ModelReplacement boosts malicious uploads away from the global
+	// model (the classic model-replacement/backdoor amplifier).
+	ModelReplacement = fl.ModelReplacement
+	// Colluding makes every malicious client upload one shared
+	// round-keyed random vector (a coordinated drift attack).
+	Colluding = fl.Colluding
+	// LabelFlip is the data-poisoning attack: malicious clients train
+	// on label-flipped shards while their uploads stay untouched.
+	LabelFlip = fl.LabelFlip
+	// Merger is the server-side merge seam: it turns a round's updates
+	// and impact factors into the next global model.
+	Merger = fl.Merger
+	// WeightedMerge is the default impact-factor weighted merge (Eq. 4)
+	// as an explicit Merger (bit-identical to a nil Merger).
+	WeightedMerge = fl.WeightedMerge
+	// Median merges by coordinate-wise median.
+	Median = fl.Median
+	// TrimmedMean merges by the coordinate-wise β-trimmed mean.
+	TrimmedMean = fl.TrimmedMean
+	// Krum selects the single update closest to its neighbors
+	// (Blanchard et al.'s Krum rule).
+	Krum = fl.Krum
+	// QuarantineConfig is the server-ingress screen: non-finite (and
+	// optionally norm-exploded) uploads are counted and dropped before
+	// aggregation instead of corrupting the global model.
+	QuarantineConfig = fl.QuarantineConfig
+	// StarvationError is RunAsync's diagnosable failure when an arrival
+	// model drops every dispatch and a round can never complete.
+	StarvationError = fl.StarvationError
+)
+
+var (
+	// ParseAttack resolves a CLI spelling (signflip, gauss, replace,
+	// collude, labelflip, none) and a malicious fraction to an
+	// AttackModel.
+	ParseAttack = fl.ParseAttack
+	// ParseMerger resolves a CLI spelling (weighted, median, trimmed,
+	// krum) to a Merger, sizing Krum's f from the malicious fraction.
+	ParseMerger = fl.ParseMerger
+	// AllFinite reports whether a weight vector is free of NaN/Inf
+	// (the upload screen behind the quarantine gate).
+	AllFinite = fl.AllFinite
+	// AllFinite32 is AllFinite over float32 vectors.
+	AllFinite32 = fl.AllFinite32
+	// FlipLabels wraps a data source so every label reads flipped
+	// (class c becomes classes-1-c) — the LabelFlip poisoning view.
+	FlipLabels = dataset.FlipLabels
 )
 
 // Federated-state precisions.
@@ -225,7 +304,9 @@ var (
 	RunVirtual = fl.RunVirtual
 	// RunAsync is the deterministic asynchronous round engine over a
 	// ClientPool: event-queue arrivals on a seeded virtual clock with
-	// staleness-weighted merging.
+	// staleness-weighted merging. It returns a *StarvationError (with
+	// the partial result) when the arrival model drops every dispatch
+	// and a round can never complete.
 	RunAsync = fl.RunAsync
 	// SingleSet trains centrally on the combined data (the §4.1 baseline).
 	SingleSet = fl.SingleSet

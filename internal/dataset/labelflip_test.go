@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+// TestLabelFlipped: the flipped view must invert every label
+// (y → Classes−1−y), pass features through by reference, refuse the
+// Raw fast path, and materialize into a private flipped copy that
+// leaves the source untouched.
+func TestLabelFlipped(t *testing.T) {
+	tr, _ := Synthesize(MNISTSim().Scaled(0.05), 3)
+	f := FlipLabels(tr)
+
+	if f.Len() != tr.Len() || f.FeatureDim() != tr.FeatureDim() || f.Classes() != tr.Classes() {
+		t.Fatal("flipped view changed the shape of the source")
+	}
+	for i := 0; i < f.Len(); i++ {
+		if want := tr.Classes() - 1 - tr.Label(i); f.Label(i) != want {
+			t.Fatalf("sample %d: flipped label %d, want %d", i, f.Label(i), want)
+		}
+		if &f.Sample(i)[0] != &tr.Sample(i)[0] {
+			t.Fatalf("sample %d: features were copied, want the source's storage", i)
+		}
+	}
+	if _, _, ok := f.Raw(); ok {
+		t.Fatal("flipped view exposed the source's unflipped Raw arrays")
+	}
+
+	// Double flip is a label involution (through a double wrapper).
+	ff := FlipLabels(f)
+	for i := 0; i < ff.Len(); i++ {
+		if ff.Label(i) != tr.Label(i) {
+			t.Fatalf("sample %d: double flip did not restore label", i)
+		}
+	}
+
+	// Materialize: flipped labels in a private copy.
+	m := f.(*LabelFlipped).Materialize()
+	if m.N != tr.N {
+		t.Fatalf("materialized %d samples, want %d", m.N, tr.N)
+	}
+	for i := 0; i < m.N; i++ {
+		if m.Y[i] != tr.Classes()-1-tr.Label(i) {
+			t.Fatalf("sample %d: materialized label %d not flipped", i, m.Y[i])
+		}
+		for j, v := range m.Sample(i) {
+			if math.Float64bits(v) != math.Float64bits(tr.Sample(i)[j]) {
+				t.Fatalf("sample %d: materialized features differ", i)
+			}
+		}
+	}
+	m.Y[0] = (m.Y[0] + 1) % m.NumClasses
+	if tr.Label(0) == tr.Classes()-1-m.Y[0] && m.Y[0] == f.Label(0) {
+		t.Fatal("materialized labels share the source's storage")
+	}
+
+	// The flip composes with views (the shape a poisoned client shard
+	// actually takes).
+	v := tr.View([]int{0, 2, 4})
+	fv := FlipLabels(v)
+	for i := 0; i < fv.Len(); i++ {
+		if fv.Label(i) != v.Classes()-1-v.Label(i) {
+			t.Fatalf("view sample %d: label not flipped", i)
+		}
+	}
+}

@@ -23,32 +23,60 @@ import (
 // the spec name within the run's Scale ("cifar100-sim", "fashion-sim",
 // "mnist-sim"); Seed is the absolute seed the cell runs with, so a spec
 // is executable with no context beyond the Scale.
+//
+// Attack, AttackFrac and Merger configure Byzantine fault injection and
+// the robust merge rule (the byzantine grid); all three zero means the
+// benign cell with the default impact-factor merge.
 type CellSpec struct {
-	Dataset   string
-	Partition string
-	Method    string
-	N, K      int
-	Delta     float64
-	Seed      uint64
+	Dataset    string
+	Partition  string
+	Method     string
+	N, K       int
+	Delta      float64
+	Seed       uint64
+	Attack     string
+	AttackFrac float64
+	Merger     string
+}
+
+// benign reports whether the spec carries no attack/merger fields, i.e.
+// whether its key uses the legacy 7-field form.
+func (c CellSpec) benign() bool {
+	return c.Attack == "" && c.AttackFrac == 0 && c.Merger == ""
 }
 
 // Key returns the canonical string form of the spec — the identity used
 // for caching, artifact encoding and shard assignment. ParseCellKey
-// inverts it exactly (Delta round-trips via strconv 'g'/-1).
+// inverts it exactly (Delta and AttackFrac round-trip via strconv
+// 'g'/-1). Benign specs emit the legacy 7-field key, byte-identical to
+// the pre-byzantine format, so every existing cache record and shard
+// file keeps its address; specs with any attack/merger field emit a
+// 10-field key.
 func (c CellSpec) Key() string {
-	return strings.Join([]string{
+	fields := []string{
 		c.Dataset, c.Partition, c.Method,
 		strconv.Itoa(c.N), strconv.Itoa(c.K),
 		strconv.FormatFloat(c.Delta, 'g', -1, 64),
 		strconv.FormatUint(c.Seed, 10),
-	}, "|")
+	}
+	if !c.benign() {
+		fields = append(fields,
+			c.Attack,
+			strconv.FormatFloat(c.AttackFrac, 'g', -1, 64),
+			c.Merger,
+		)
+	}
+	return strings.Join(fields, "|")
 }
 
-// ParseCellKey inverts CellSpec.Key.
+// ParseCellKey inverts CellSpec.Key: 7 fields for a benign spec, 10 for
+// one with attack/merger fields. A 10-field key whose three extra
+// fields are all zero is rejected as non-canonical (its spec would
+// re-encode to 7 fields), keeping Key∘ParseCellKey the identity.
 func ParseCellKey(key string) (CellSpec, error) {
 	parts := strings.Split(key, "|")
-	if len(parts) != 7 {
-		return CellSpec{}, fmt.Errorf("experiments: cell key %q has %d fields, want 7", key, len(parts))
+	if len(parts) != 7 && len(parts) != 10 {
+		return CellSpec{}, fmt.Errorf("experiments: cell key %q has %d fields, want 7 or 10", key, len(parts))
 	}
 	n, err := strconv.Atoi(parts[3])
 	if err != nil {
@@ -66,10 +94,21 @@ func ParseCellKey(key string) (CellSpec, error) {
 	if err != nil {
 		return CellSpec{}, fmt.Errorf("experiments: cell key %q: seed: %w", key, err)
 	}
-	return CellSpec{
+	spec := CellSpec{
 		Dataset: parts[0], Partition: parts[1], Method: parts[2],
 		N: n, K: k, Delta: delta, Seed: seed,
-	}, nil
+	}
+	if len(parts) == 10 {
+		frac, err := strconv.ParseFloat(parts[8], 64)
+		if err != nil {
+			return CellSpec{}, fmt.Errorf("experiments: cell key %q: attack fraction: %w", key, err)
+		}
+		spec.Attack, spec.AttackFrac, spec.Merger = parts[7], frac, parts[9]
+		if spec.benign() {
+			return CellSpec{}, fmt.Errorf("experiments: cell key %q spells zero attack/merger fields long-form; the canonical key has 7 fields", key)
+		}
+	}
+	return spec, nil
 }
 
 // CellArtifact is the machine-readable result of running one CellSpec:

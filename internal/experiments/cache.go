@@ -130,6 +130,14 @@ var excludedScaleFields = []string{
 	"Name", "LargeN", "K", "KSweep", "Deltas", "Workers", "Parallel",
 }
 
+// conditionallyHashedScaleFields are hashed only when any of them is
+// non-zero (see hashScale): the scale-level Byzantine knobs change what
+// a cell computes, but their zero values must contribute nothing so
+// every cache address minted before the knobs existed stays valid.
+var conditionallyHashedScaleFields = []string{
+	"Attack", "AttackFrac", "Merger",
+}
+
 // hashScale folds the code-relevant Scale fields into h, in the fixed
 // hashedScaleFields order.
 func hashScale(h *serialize.Hasher, s Scale) {
@@ -159,6 +167,15 @@ func hashScale(h *serialize.Hasher, s Scale) {
 		default:
 			panic(fmt.Sprintf("experiments: unhashable scale field %s (%s)", name, f.Kind()))
 		}
+	}
+	// The attack knobs joined the struct after caches were already
+	// populated, so they fold in only when set — an all-zero triple is
+	// byte-identical to the pre-byzantine hash input.
+	if s.Attack != "" || s.AttackFrac != 0 || s.Merger != "" {
+		h.String("byzantine")
+		h.String(s.Attack)
+		h.Float64(s.AttackFrac)
+		h.String(s.Merger)
 	}
 }
 

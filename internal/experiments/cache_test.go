@@ -310,6 +310,12 @@ func TestCacheKeySensitivity(t *testing.T) {
 		t.Fatal("address ignores the cell seed")
 	}
 
+	attacked := spec
+	attacked.Attack, attacked.AttackFrac, attacked.Merger = "signflip", 0.2, "median"
+	if cellAddress(s, attacked) == base {
+		t.Fatal("address ignores the cell's attack fields")
+	}
+
 	mutate := map[string]func(*Scale){
 		"Rounds":    func(s *Scale) { s.Rounds++ },
 		"DataScale": func(s *Scale) { s.DataScale *= 2 },
@@ -324,6 +330,12 @@ func TestCacheKeySensitivity(t *testing.T) {
 		// f32 and f64 cells compute different numbers and must never
 		// share a cache record.
 		"Precision": func(s *Scale) { s.Precision = "f32" },
+		// The scale-wide Byzantine knobs are conditionally hashed: any
+		// non-zero value must move the address (attacked cells never
+		// alias benign records)...
+		"Attack":     func(s *Scale) { s.Attack = "signflip"; s.AttackFrac = 0.2 },
+		"AttackFrac": func(s *Scale) { s.AttackFrac = 0.2 },
+		"Merger":     func(s *Scale) { s.Merger = "median" },
 	}
 	for name, mut := range mutate {
 		changed := s
@@ -363,6 +375,12 @@ func TestCacheKeyCoversScale(t *testing.T) {
 	for _, f := range excludedScaleFields {
 		if classified[f] {
 			t.Fatalf("scale field %s is both hashed and excluded", f)
+		}
+		classified[f] = true
+	}
+	for _, f := range conditionallyHashedScaleFields {
+		if classified[f] {
+			t.Fatalf("scale field %s is both conditionally hashed and hashed/excluded", f)
 		}
 		classified[f] = true
 	}

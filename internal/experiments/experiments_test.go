@@ -63,6 +63,7 @@ func TestRegistryComplete(t *testing.T) {
 		"figure4", "figure5", "figure6", "figure7", "figure8", "figure9", "figure10",
 		"ablation-reward", "ablation-statenorm", "ablation-twostage",
 		"ablation-prior", "comm-overhead", "headline", "async-sync",
+		"byzantine",
 	}
 	for _, n := range want {
 		if _, ok := Registry[n]; !ok {

@@ -23,6 +23,10 @@ func FuzzParseCellKey(f *testing.F) {
 		table3Spec(s, "cifar100-sim", "CE", "FedDRL", s.SmallN, 1),
 		table3Spec(s, "mnist-sim", "PA", "SingleSet", s.LargeN, 42),
 		{Dataset: "fashion-sim", Partition: "Non-equal", Method: "FedProx", N: 100, K: 10, Delta: 0.30000000000000004, Seed: 1<<63 + 5},
+		// Long-form (10-field) Byzantine keys.
+		byzantineSpec(s, byzantineAttack{"signflip", 0.2}, "median", 1),
+		byzantineSpec(s, byzantineAttack{"none", 0}, "krum", 7),
+		{Dataset: "mnist-sim", Partition: "CE", Method: "FedAvg", N: 10, K: 10, Delta: 0.6, Seed: 1, AttackFrac: 0.30000000000000004},
 	} {
 		f.Add(spec.Key())
 	}
@@ -43,6 +47,16 @@ func FuzzParseCellKey(f *testing.F) {
 		"a|b|c|01|001|0.50|0018446744073709551615",
 		"π|δ|σ|1|1|0.5|1",
 		strings.Repeat("x", 1<<10) + "|b|c|1|1|0.5|1",
+		// Long-form shapes: 8 and 9 fields stay invalid, a 10-field key
+		// needs a parsable fraction, and the all-zero long form is
+		// non-canonical (the 7-field key is the fixed point).
+		"a|b|c|1|1|0.5|1|signflip",
+		"a|b|c|1|1|0.5|1|signflip|0.2",
+		"a|b|c|1|1|0.5|1|signflip|0.2|median",
+		"a|b|c|1|1|0.5|1|signflip|zz|median",
+		"a|b|c|1|1|0.5|1|||",
+		"a|b|c|1|1|0.5|1||0.2|",
+		"a|b|c|1|1|0.5|1|signflip|NaN|krum",
 	} {
 		f.Add(key)
 	}
@@ -73,6 +87,9 @@ func TestCellKeyPropertyRoundTrip(t *testing.T) {
 	deltas := []float64{0, 0.6, -0.0, 0.30000000000000004, math.SmallestNonzeroFloat64,
 		math.MaxFloat64, 1e-300, -1e300, math.Inf(1), math.Inf(-1)}
 	seeds := []uint64{0, 1, 1009, 1<<63 + 5, math.MaxUint64}
+	attacks := []string{"", "signflip", "gauss", "labelflip", "weird name"}
+	fracs := []float64{0, 0.2, 0.30000000000000004, 1, -0.5, 1e-300}
+	mergers := []string{"", "median", "trimmed", "krum", "x"}
 
 	r := rng.New(7)
 	pick := func(n int) int { return r.Intn(n) }
@@ -85,6 +102,13 @@ func TestCellKeyPropertyRoundTrip(t *testing.T) {
 			K:         pick(1 << 20),
 			Delta:     deltas[pick(len(deltas))],
 			Seed:      seeds[pick(len(seeds))],
+		}
+		// Half the specs get attack fields, exercising both the legacy
+		// 7-field and the long-form 10-field codec.
+		if i%2 == 1 {
+			spec.Attack = attacks[pick(len(attacks))]
+			spec.AttackFrac = fracs[pick(len(fracs))]
+			spec.Merger = mergers[pick(len(mergers))]
 		}
 		got, err := ParseCellKey(spec.Key())
 		if err != nil {
@@ -129,6 +153,10 @@ func TestParseCellKeyRejectsMalformed(t *testing.T) {
 		"a|b|c|1|1|0.5|-1",
 		"a|b|c|1|1|0.5|18446744073709551616", // MaxUint64 + 1
 		"a|b|c|1.5|1|0.5|1",                  // N must be an int
+		"a|b|c|1|1|0.5|1|signflip",           // 8 fields: never valid
+		"a|b|c|1|1|0.5|1|signflip|0.2",       // 9 fields: never valid
+		"a|b|c|1|1|0.5|1|signflip|bad|krum",  // unparsable attack fraction
+		"a|b|c|1|1|0.5|1|||",                 // all-zero long form: non-canonical
 	} {
 		if _, err := ParseCellKey(bad); err == nil {
 			t.Fatalf("ParseCellKey(%q) accepted a malformed key", bad)

@@ -63,6 +63,7 @@ var Registry = map[string]Experiment{
 	"comm-overhead":      mono(CommOverhead),
 	"headline":           {Jobs: headlineJobs, Render: renderHeadline},
 	"async-sync":         {Jobs: asyncSyncJobs, Render: renderAsyncSync},
+	"byzantine":          {Jobs: byzantineJobs, Render: renderByzantine},
 }
 
 // Names returns the registered experiment ids in sorted order.

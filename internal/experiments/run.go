@@ -60,13 +60,24 @@ func (s Scale) drlConfig(k int, seed uint64) core.Config {
 	return cfg
 }
 
-// runMethodOn executes one (dataset, partition, N, method) cell on a shared
-// engine pool and returns its result. delta applies to the clustered
-// partitions only. The cell's
-// client training, evaluation and aggregation all borrow the pool's
-// lanes, so many cells can run concurrently under one global worker
-// bound. A nil pool falls back to the scale's own Workers setting.
-func runMethodOn(s Scale, spec dataset.Spec, partName, method string, n, k int, delta float64, seed uint64, pool *engine.Pool) *fl.Result {
+// runMethodOn executes one cell on a shared engine pool and returns its
+// result. cell.Delta applies to the clustered partitions only. The
+// cell's client training, evaluation and aggregation all borrow the
+// pool's lanes, so many cells can run concurrently under one global
+// worker bound. A nil pool falls back to the scale's own Workers
+// setting.
+//
+// The cell's Attack/AttackFrac/Merger fields (falling back to the
+// scale-level fields when the cell leaves all three zero) configure
+// Byzantine fault injection and the robust merge rule; both default to
+// the benign, byte-identical historical behavior.
+func runMethodOn(s Scale, spec dataset.Spec, cell CellSpec, pool *engine.Pool) *fl.Result {
+	partName, method := cell.Partition, cell.Method
+	n, k, delta, seed := cell.N, cell.K, cell.Delta, cell.Seed
+	attackName, attackFrac, mergerName := cell.Attack, cell.AttackFrac, cell.Merger
+	if attackName == "" && attackFrac == 0 && mergerName == "" {
+		attackName, attackFrac, mergerName = s.Attack, s.AttackFrac, s.Merger
+	}
 	train, test := dataset.Synthesize(spec, seed)
 	// The paper's default K=10 means full participation at its small
 	// federation size (N=10, §4.1.2); mirror that so the FedDRL state's
@@ -114,12 +125,33 @@ func runMethodOn(s Scale, spec dataset.Spec, partName, method string, n, k int, 
 	}
 	cfg := s.runConfig(spec, k, proxMu, seed+1)
 	cfg.Pool = pool
+	// Byzantine cells: the attack seed stays 0 (derived from the run
+	// seed), so a cell's fault trace is as reproducible as everything
+	// else keyed off its CellSpec. Krum's tolerance is sized to the
+	// declared malicious fraction of the merge cohort.
+	atk, err := fl.ParseAttack(attackName, attackFrac)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Attack = atk
+	mg, err := fl.ParseMerger(mergerName, attackFrac, aggCohort)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Merger = mg
 	// Virtual clients: only the K selected identities occupy client
 	// state at a time, so a cell's memory is O(K) in its client count.
 	// Bit-identical to the eager fl.Run path with the same seed.
 	cp := fl.NewClientPool(train, fl.IndexPartition(assign.ClientIndices), cfg.Factory, seed+4)
 	if mode != "" {
-		return fl.RunAsync(asyncConfigFor(mode, cfg, k, seed), cp, test, agg).Result
+		ar, err := fl.RunAsync(asyncConfigFor(mode, cfg, k, seed), cp, test, agg)
+		if err != nil {
+			// Grid traces are drop-free by construction (asyncStaleTrace
+			// sets no OfflineFrac/DropRate), so starvation here means the
+			// configuration is broken, not flaky.
+			panic(err)
+		}
+		return ar.Result
 	}
 	return fl.RunVirtual(cfg, cp, test, agg)
 }
@@ -159,7 +191,7 @@ func (st *artifactStore) close() { st.pool.Close() }
 // compute runs one cell spec to an artifact on the store's pool.
 func (st *artifactStore) compute(spec CellSpec) *CellArtifact {
 	ds := st.s.datasetByName(spec.Dataset)
-	res := runMethodOn(st.s, ds, spec.Partition, spec.Method, spec.N, spec.K, spec.Delta, spec.Seed, st.pool)
+	res := runMethodOn(st.s, ds, spec, st.pool)
 	return artifactOf(spec, res)
 }
 

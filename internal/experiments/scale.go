@@ -73,6 +73,15 @@ type Scale struct {
 	Precision string
 	// EvalEvery is the test-evaluation cadence.
 	EvalEvery int
+	// Attack, AttackFrac and Merger apply a scale-wide Byzantine fault
+	// model and robust merge rule to every cell whose CellSpec leaves
+	// its own attack fields zero (the -attack/-merger CLI flags set
+	// these). The zero values are the benign default and contribute
+	// nothing to cache addresses; non-zero values are folded in
+	// conditionally (see hashScale).
+	Attack     string
+	AttackFrac float64
+	Merger     string
 	// Parallel trains selected clients in goroutines.
 	//
 	// Deprecated: shorthand for Workers=GOMAXPROCS; prefer Workers.

@@ -166,9 +166,41 @@ func behaviorAction(alpha []float64, beta float64) []float64 {
 
 // Aggregate computes the weighted model merge of Eq. 4 into a fresh
 // vector: w ← Σ_k α_k·w_k. It panics unless the weights form a
-// (near-)convex combination aligned with the updates.
+// (near-)convex combination aligned with the updates, and unless every
+// upload is finite — see AllFinite for the misuse-vs-fault split.
 func Aggregate(updates []Update, alpha []float64) []float64 {
 	return AggregateOn(updates, alpha, nil)
+}
+
+// AllFinite reports whether every element of v is a finite number (no
+// NaN, no ±Inf).
+//
+// The aggregation entry points panic on non-finite uploads because a
+// single poisoned coordinate contaminates the whole merged model, and a
+// caller reaching Aggregate with one has skipped the screening it owns
+// — library misuse. The run loops never trip that panic: their ingress
+// gate (QuarantineConfig) treats a non-finite upload as a runtime fault
+// from a diverging or malicious client, drops it from the cohort, and
+// counts it in RoundMetrics.Quarantined.
+func AllFinite(v []float64) bool {
+	for _, x := range v {
+		// x-x is 0 for finite x and NaN for NaN/±Inf: one branch per
+		// element instead of two math.Is* calls.
+		if x-x != x-x {
+			return false
+		}
+	}
+	return true
+}
+
+// AllFinite32 is the float32 twin of AllFinite.
+func AllFinite32(v []float32) bool {
+	for _, x := range v {
+		if x-x != x-x {
+			return false
+		}
+	}
+	return true
 }
 
 // aggSegment is the column span each pool task merges in AggregateOn.
@@ -199,6 +231,9 @@ func AggregateOn(updates []Update, alpha []float64, pool *engine.Pool) []float64
 	for i, u := range updates {
 		if len(u.Weights) != dim {
 			panic("fl: inconsistent weight vector lengths")
+		}
+		if !AllFinite(u.Weights) {
+			panic(fmt.Sprintf("fl: non-finite weights in update %d (client %d); screen uploads with AllFinite or the run loop's quarantine gate", i, u.ClientID))
 		}
 		vecs[i] = u.Weights
 	}

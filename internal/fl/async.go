@@ -18,8 +18,41 @@ const asyncArrivalSalt uint64 = 0x8f462907d5a1c0f3
 // maxRedispatchAttempts bounds consecutive all-dropped dispatch cohorts
 // before the engine declares the arrival model degenerate. A trace that
 // drops every update forever (DropRate 1, or every identity offline)
-// can never finish a round; failing loudly beats spinning.
+// can never finish a round; RunAsync then returns a StarvationError
+// carrying the partial result instead of spinning.
 const maxRedispatchAttempts = 64
+
+// StarvationError reports an asynchronous run that could not assemble a
+// single update for maxRedispatchAttempts consecutive dispatch cohorts:
+// the arrival model dropped everything, so the round can never finish.
+// RunAsync returns it alongside the partial result for the rounds that
+// did complete — a daemon-style caller can log the census and keep
+// serving the last good model rather than crashing.
+type StarvationError struct {
+	// Model is the arrival model's name.
+	Model string
+	// Round is the server round that starved.
+	Round int
+	// Attempts is the number of consecutive all-dropped dispatch
+	// cohorts.
+	Attempts int
+	// Dispatched and Dropped count the broadcasts sent and lost while
+	// assembling the starved round; Arrived counts the updates that
+	// made it back (always short of one full aggregation).
+	Dispatched int
+	Dropped    int
+	Arrived    int
+	// OfflineClients is the census of distinct client identities whose
+	// dispatches were dropped during the starved round.
+	OfflineClients int
+}
+
+// Error implements error.
+func (e *StarvationError) Error() string {
+	return fmt.Sprintf(
+		"fl: async run starved at round %d: arrival model %q dropped %d consecutive cohorts (%d dispatched, %d dropped, %d arrived, %d distinct clients unreachable)",
+		e.Round, e.Model, e.Attempts, e.Dispatched, e.Dropped, e.Arrived, e.OfflineClients)
+}
 
 // Arrival is one dispatch's fate as decided by an ArrivalModel: the
 // virtual latency between the server broadcasting to a client and that
@@ -345,7 +378,12 @@ func staleWeights(alpha []float64, buf []inFlight, round int, decay float64) []f
 // configuration, and the degenerate configuration (InstantArrivals,
 // StalenessDecay 1, AggregateEvery K) reproduces RunVirtual exactly,
 // including every weight bit and RNG stream.
-func RunAsync(cfg AsyncConfig, clients *ClientPool, test *dataset.Dataset, agg Aggregator) *AsyncResult {
+//
+// The returned error is non-nil only when the arrival model starves the
+// engine (*StarvationError): every dispatch of maxRedispatchAttempts
+// consecutive cohorts was dropped. The partial result for the rounds
+// that completed is returned alongside it.
+func RunAsync(cfg AsyncConfig, clients *ClientPool, test *dataset.Dataset, agg Aggregator) (*AsyncResult, error) {
 	cfg.Validate()
 	if clients == nil {
 		panic("fl: RunAsync with nil client pool")
@@ -399,6 +437,8 @@ func RunAsync(cfg AsyncConfig, clients *ClientPool, test *dataset.Dataset, agg A
 		sel = UniformSelector{}
 	}
 
+	atk := newAttackRuntime(cfg.Attack, cfg.AttackSeed, cfg.Seed)
+
 	res := &AsyncResult{Result: &Result{Method: agg.Name(), NumParam: len(global)}}
 	updates := make([]Update, k)
 	slots := make([]*Client, k)
@@ -406,12 +446,17 @@ func RunAsync(cfg AsyncConfig, clients *ClientPool, test *dataset.Dataset, agg A
 	var q arrivalHeap
 	buffer := make([]inFlight, 0, threshold)
 	bufUpdates := make([]Update, 0, threshold)
+	keptFlight := make([]inFlight, 0, threshold)
+	keptUpdates := make([]Update, 0, threshold)
 	lb := make([]float64, 0, threshold)
 
 	now := 0.0
 	seq := 0
 	round := 0
 	dispatched, dropped := 0, 0
+	// droppedIDs is the per-round census of identities whose dispatches
+	// were lost, reported by StarvationError.
+	droppedIDs := make(map[int]struct{})
 
 	// dispatch broadcasts the current global model to a fresh cohort and
 	// schedules (or drops) each resulting update. Updates carry fresh
@@ -419,7 +464,7 @@ func RunAsync(cfg AsyncConfig, clients *ClientPool, test *dataset.Dataset, agg A
 	// in-flight updates survive their slot being retrained.
 	dispatch := func(attempt int) {
 		selected := sel.Select(round, k, pop, serverRNG)
-		trainCohort(pop, selected, global, cfg.Local, cfg.Precision, pool, updates, slots, seen)
+		trainCohort(pop, selected, global, cfg.Local, cfg.Precision, pool, round, atk, updates, slots, seen)
 		for i := range selected {
 			u := updates[i]
 			dr := rng.New(rng.MixSeed(arrivalSeed, uint64(round), uint64(u.ClientID), uint64(attempt)))
@@ -427,6 +472,7 @@ func RunAsync(cfg AsyncConfig, clients *ClientPool, test *dataset.Dataset, agg A
 			dispatched++
 			if a.Drop {
 				dropped++
+				droppedIDs[u.ClientID] = struct{}{}
 				continue
 			}
 			if a.Delay < 0 || math.IsNaN(a.Delay) || math.IsInf(a.Delay, 0) {
@@ -460,7 +506,16 @@ func RunAsync(cfg AsyncConfig, clients *ClientPool, test *dataset.Dataset, agg A
 			// of replaying the identical drop forever.
 			attempt++
 			if attempt > maxRedispatchAttempts {
-				panic(fmt.Sprintf("fl: async run starved: arrival model %q dropped %d consecutive cohorts", arr.Name(), attempt))
+				res.Weights = global
+				return res, &StarvationError{
+					Model:          arr.Name(),
+					Round:          round,
+					Attempts:       attempt,
+					Dispatched:     dispatched,
+					Dropped:        dropped,
+					Arrived:        dispatched - dropped - len(q),
+					OfflineClients: len(droppedIDs),
+				}
 			}
 			dispatch(attempt)
 			continue
@@ -481,14 +536,37 @@ func RunAsync(cfg AsyncConfig, clients *ClientPool, test *dataset.Dataset, agg A
 			}
 		}
 
-		t0 := time.Now()
-		alpha := agg.ImpactFactors(round, bufUpdates)
-		decision := time.Since(t0)
+		// Ingress gate, mirroring runLoop: quarantined uploads leave the
+		// merge cohort (and its staleness bookkeeping slice, which must
+		// stay aligned with the impact factors) but still count in the
+		// loss statistics. Quarantining everything carries the global
+		// model over to the next round.
+		mergeBuf, mergeUpdates := buffer, bufUpdates
+		quarantined := 0
+		keptFlight, keptUpdates = keptFlight[:0], keptUpdates[:0]
+		for i := range bufUpdates {
+			if cfg.Quarantine.reject(&bufUpdates[i]) {
+				quarantined++
+			} else {
+				keptFlight = append(keptFlight, buffer[i])
+				keptUpdates = append(keptUpdates, bufUpdates[i])
+			}
+		}
+		if quarantined > 0 {
+			mergeBuf, mergeUpdates = keptFlight, keptUpdates
+		}
 
-		t1 := time.Now()
-		alpha = staleWeights(alpha, buffer, round, decay)
-		global = aggregateP(cfg.Precision, bufUpdates, alpha, pool)
-		aggTime := time.Since(t1)
+		var decision, aggTime time.Duration
+		if len(mergeUpdates) > 0 {
+			t0 := time.Now()
+			alpha := agg.ImpactFactors(round, mergeUpdates)
+			decision = time.Since(t0)
+
+			t1 := time.Now()
+			alpha = staleWeights(alpha, mergeBuf, round, decay)
+			global = mergeP(cfg.Precision, cfg.Merger, mergeUpdates, alpha, pool)
+			aggTime = time.Since(t1)
+		}
 
 		m := RoundMetrics{
 			Round:          round,
@@ -496,6 +574,7 @@ func RunAsync(cfg AsyncConfig, clients *ClientPool, test *dataset.Dataset, agg A
 			ClientLossVar:  mathx.Variance(lb),
 			ClientLossMax:  mathx.Max(lb),
 			ClientLossMin:  mathx.Min(lb),
+			Quarantined:    quarantined,
 			DecisionTime:   decision,
 			AggTime:        aggTime,
 		}
@@ -520,6 +599,7 @@ func RunAsync(cfg AsyncConfig, clients *ClientPool, test *dataset.Dataset, agg A
 
 		buffer = buffer[:0]
 		dispatched, dropped = 0, 0
+		clear(droppedIDs)
 		attempt = 0
 		round++
 		if round < cfg.Rounds {
@@ -527,5 +607,5 @@ func RunAsync(cfg AsyncConfig, clients *ClientPool, test *dataset.Dataset, agg A
 		}
 	}
 	res.Weights = global
-	return res
+	return res, nil
 }

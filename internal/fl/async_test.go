@@ -1,8 +1,10 @@
 package fl
 
 import (
+	"errors"
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"feddrl/internal/dataset"
@@ -18,6 +20,16 @@ import (
 // stripAsyncTimings zeroes the wall-clock fields of an async record.
 func stripAsyncTimings(r *AsyncResult) *AsyncResult {
 	stripTimings(r.Result)
+	return r
+}
+
+// mustAsync unwraps RunAsync's (result, error) pair for configurations
+// that cannot starve; TestAsyncStarvationReturnsError exercises the
+// error arm explicitly.
+func mustAsync(r *AsyncResult, err error) *AsyncResult {
+	if err != nil {
+		panic(err)
+	}
 	return r
 }
 
@@ -47,7 +59,7 @@ func TestAsyncDegenerateMatchesRunVirtual(t *testing.T) {
 					cfg.Workers = workers
 					// Zero-value async fields: InstantArrivals, decay 1,
 					// AggregateEvery K.
-					return stripAsyncTimings(RunAsync(AsyncConfig{RunConfig: cfg}, cp, test, mkAgg()))
+					return stripAsyncTimings(mustAsync(RunAsync(AsyncConfig{RunConfig: cfg}, cp, test, mkAgg())))
 				}
 				want, got := syncRun(), asyncRun()
 				if !reflect.DeepEqual(want, got.Result) {
@@ -102,7 +114,7 @@ func TestAsyncSeededTraceReproducible(t *testing.T) {
 		cp, test, cfg := detVirtualFederation(t, seed)
 		cfg.Workers = workers
 		cfg.Rounds = 6
-		return stripAsyncTimings(RunAsync(asyncTraceConfig(cfg), cp, test, FedAvg{}))
+		return stripAsyncTimings(mustAsync(RunAsync(asyncTraceConfig(cfg), cp, test, FedAvg{})))
 	}
 	ref := runAt(1)
 	for _, workers := range []int{1, 4, 8} {
@@ -145,7 +157,7 @@ func TestAsyncPartialRounds(t *testing.T) {
 			RunConfig: cfg,
 			Arrival:   TraceArrivals{Seed: 13, BaseDelay: 1, DropRate: 0.5},
 		}
-		return stripAsyncTimings(RunAsync(acfg, cp, test, FedAvg{}))
+		return stripAsyncTimings(mustAsync(RunAsync(acfg, cp, test, FedAvg{})))
 	}
 	a, b := runOnce(), runOnce()
 	if !reflect.DeepEqual(a, b) {
@@ -171,22 +183,52 @@ func TestAsyncPartialRounds(t *testing.T) {
 	}
 }
 
-// TestAsyncStarvationPanics: an arrival model that drops everything can
-// never finish a round; the engine must fail loudly instead of
-// redispatching forever.
-func TestAsyncStarvationPanics(t *testing.T) {
+// TestAsyncStarvationReturnsError: an arrival model that drops
+// everything can never finish a round; the engine must return a
+// diagnosable *StarvationError — stuck round, dispatch/arrival census,
+// distinct unreachable clients — instead of redispatching forever (and
+// instead of the panic it used to throw), alongside the partial result.
+func TestAsyncStarvationReturnsError(t *testing.T) {
 	cp, _, cfg := detVirtualFederation(t, 37)
 	cfg.Rounds = 1
 	acfg := AsyncConfig{
 		RunConfig: cfg,
 		Arrival:   TraceArrivals{Seed: 1, DropRate: 1},
 	}
-	defer func() {
-		if recover() == nil {
-			t.Fatal("all-drop trace did not panic")
+	res, err := RunAsync(acfg, cp, nil, FedAvg{})
+	if err == nil {
+		t.Fatal("all-drop trace did not return an error")
+	}
+	var se *StarvationError
+	if !errors.As(err, &se) {
+		t.Fatalf("error is %T (%v), want *StarvationError", err, err)
+	}
+	if se.Round != 0 {
+		t.Fatalf("starved at round %d, want 0", se.Round)
+	}
+	if se.Model != (TraceArrivals{}).Name() {
+		t.Fatalf("error names arrival model %q, want %q", se.Model, (TraceArrivals{}).Name())
+	}
+	if se.Attempts != maxRedispatchAttempts+1 {
+		t.Fatalf("error counts %d attempts, want %d", se.Attempts, maxRedispatchAttempts+1)
+	}
+	if se.Dispatched == 0 || se.Dropped != se.Dispatched {
+		t.Fatalf("all-drop census inconsistent: %d dispatched, %d dropped", se.Dispatched, se.Dropped)
+	}
+	if se.Arrived != 0 {
+		t.Fatalf("all-drop trace reported %d arrivals", se.Arrived)
+	}
+	if se.OfflineClients == 0 {
+		t.Fatal("error reports no unreachable clients")
+	}
+	if res == nil || len(res.Weights) == 0 {
+		t.Fatal("starvation must still surface the partial result")
+	}
+	for _, frag := range []string{"starved at round 0", `"trace"`, "unreachable"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Fatalf("error %q does not mention %q", err, frag)
 		}
-	}()
-	RunAsync(acfg, cp, nil, FedAvg{})
+	}
 }
 
 // TestClientPoolStraddlingResume: the snapshot/resume machinery the

@@ -108,6 +108,9 @@ func AggregateOn32(updates []Update, alpha []float64, pool *engine.Pool) []float
 		if u.Weights32 == nil || len(u.Weights32) != dim {
 			panic("fl: inconsistent f32 weight vector lengths")
 		}
+		if !AllFinite32(u.Weights32) {
+			panic(fmt.Sprintf("fl: non-finite weights in update %d (client %d); screen uploads with AllFinite32 or the run loop's quarantine gate", i, u.ClientID))
+		}
 		vecs[i] = u.Weights32
 	}
 	alpha32 := make([]float32, len(alpha))

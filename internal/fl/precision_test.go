@@ -72,7 +72,7 @@ func TestF32AsyncDegenerateMatchesVirtual(t *testing.T) {
 			cp, test, cfg := detVirtualFederation(t, seed)
 			cfg.Workers = workers
 			cfg.Precision = F32
-			return stripAsyncTimings(RunAsync(AsyncConfig{RunConfig: cfg}, cp, test, FedAvg{}))
+			return stripAsyncTimings(mustAsync(RunAsync(AsyncConfig{RunConfig: cfg}, cp, test, FedAvg{})))
 		}
 		want, got := syncRun(), asyncRun()
 		if !reflect.DeepEqual(want, got.Result) {

@@ -2,6 +2,7 @@ package fl
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"time"
 
@@ -64,6 +65,102 @@ type RunConfig struct {
 	// the full-width behavior. Local training always runs in float64;
 	// SingleSet (no federated exchange) ignores the knob.
 	Precision Precision
+	// Attack optionally injects Byzantine faults (see attack.go): a
+	// seeded, identity-stable subset of clients corrupts its uploads
+	// (or its local training data, for DataAttack implementations)
+	// deterministically per (round, client). nil is the benign path,
+	// bit-for-bit identical to runs predating the knob. SingleSet (no
+	// clients) ignores it.
+	Attack AttackModel
+	// AttackSeed keys the attack's membership and corruption streams;
+	// 0 derives Seed ^ attackSalt, so by default distinct runs see
+	// distinct attack traces while an explicit seed replays one trace
+	// across many run seeds.
+	AttackSeed uint64
+	// Merger selects the server-side merge rule (see merger.go). nil
+	// means the default impact-factor convex combination, byte-identical
+	// to the historical Aggregate path; Median/TrimmedMean/Krum trade
+	// the aggregator's weighting for Byzantine robustness (the
+	// aggregator still runs — its decision timings stay comparable —
+	// but an order-statistic merger ignores the resulting factors).
+	Merger Merger
+	// Quarantine configures the server-ingress gate applied to client
+	// uploads before they reach the aggregator (see QuarantineConfig).
+	// The zero value screens non-finite uploads only.
+	Quarantine QuarantineConfig
+}
+
+// QuarantineConfig is the server's upload-ingress gate: rather than
+// folding a poisoned vector into the global model (one NaN coordinate
+// contaminates everything), offending uploads are dropped from the
+// round's merge cohort and counted in RoundMetrics.Quarantined. The
+// gate never panics mid-run — that split is deliberate: Aggregate and
+// friends panic on non-finite input (library misuse: the caller was
+// supposed to screen), while the run loops quarantine and continue
+// (runtime fault: a fault model or a diverging client produced the
+// vector). If every upload of a round is quarantined the global model
+// simply carries over unchanged.
+type QuarantineConfig struct {
+	// DisableFiniteCheck turns off the non-finite (NaN/±Inf) screen.
+	// The zero value keeps it on — benign runs are unaffected because
+	// the screen only reads.
+	DisableFiniteCheck bool
+	// MaxNorm additionally quarantines uploads whose L2 norm exceeds
+	// it; 0 disables the norm screen.
+	MaxNorm float64
+}
+
+// reject reports whether the gate drops u.
+func (q QuarantineConfig) reject(u *Update) bool {
+	if !q.DisableFiniteCheck {
+		if u.Weights32 != nil {
+			if !AllFinite32(u.Weights32) {
+				return true
+			}
+		} else if !AllFinite(u.Weights) {
+			return true
+		}
+	}
+	if q.MaxNorm > 0 && updateNorm(u) > q.MaxNorm {
+		return true
+	}
+	return false
+}
+
+// updateNorm is the L2 norm of whichever width the update carries,
+// folded sequentially in f64.
+func updateNorm(u *Update) float64 {
+	var s float64
+	if u.Weights32 != nil {
+		for _, v := range u.Weights32 {
+			s += float64(v) * float64(v)
+		}
+	} else {
+		for _, v := range u.Weights {
+			s += v * v
+		}
+	}
+	return math.Sqrt(s)
+}
+
+// quarantineInto screens a cohort: survivors are appended to kept
+// (cleared on entry) and the quarantined count is returned. When
+// nothing is rejected the returned slice is the arrived slice itself,
+// so the benign path hands the aggregator the exact historical value.
+func quarantineInto(q QuarantineConfig, arrived []Update, kept []Update) ([]Update, int) {
+	kept = kept[:0]
+	quarantined := 0
+	for i := range arrived {
+		if q.reject(&arrived[i]) {
+			quarantined++
+		} else {
+			kept = append(kept, arrived[i])
+		}
+	}
+	if quarantined == 0 {
+		return arrived, 0
+	}
+	return kept, quarantined
 }
 
 // Validate panics on an inconsistent run configuration.
@@ -111,6 +208,10 @@ type RoundMetrics struct {
 	ClientLossVar  float64
 	ClientLossMax  float64
 	ClientLossMin  float64
+
+	// Quarantined counts this round's uploads rejected by the ingress
+	// gate (non-finite or norm-exploded) and excluded from the merge.
+	Quarantined int
 
 	// DecisionTime is the impact-factor computation (the "DRL" bar of
 	// Fig. 9); AggTime is the weighted weight merge (the "Aggregation"
@@ -312,27 +413,39 @@ func runLoop(cfg RunConfig, pop population, test *dataset.Dataset, agg Aggregato
 		sel = UniformSelector{}
 	}
 
+	atk := newAttackRuntime(cfg.Attack, cfg.AttackSeed, cfg.Seed)
+
 	res := &Result{Method: agg.Name(), NumParam: len(global)}
 	updates := make([]Update, k)
 	slots := make([]*Client, k)
 	lb := make([]float64, k)
 	seen := make(map[int]struct{}, k)
+	kept := make([]Update, 0, k)
 	for round := 0; round < cfg.Rounds; round++ {
 		selected := sel.Select(round, k, pop, serverRNG)
 
-		trainCohort(pop, selected, global, cfg.Local, cfg.Precision, pool, updates, slots, seen)
+		trainCohort(pop, selected, global, cfg.Local, cfg.Precision, pool, round, atk, updates, slots, seen)
 
 		for i, ci := range selected {
 			pop.noteLoss(ci, updates[i].LossBefore)
 		}
 
-		t0 := time.Now()
-		alpha := agg.ImpactFactors(round, updates)
-		decision := time.Since(t0)
+		// Ingress gate: poisoned uploads are dropped from the merge
+		// cohort (counted below); the loss statistics still cover every
+		// arrived update, quarantined or not.
+		merge, quarantined := quarantineInto(cfg.Quarantine, updates, kept)
 
-		t1 := time.Now()
-		global = aggregateP(cfg.Precision, updates, alpha, pool)
-		aggTime := time.Since(t1)
+		var decision, aggTime time.Duration
+		if len(merge) > 0 {
+			t0 := time.Now()
+			alpha := agg.ImpactFactors(round, merge)
+			decision = time.Since(t0)
+
+			t1 := time.Now()
+			global = mergeP(cfg.Precision, cfg.Merger, merge, alpha, pool)
+			aggTime = time.Since(t1)
+		}
+		// Every upload quarantined: the global model carries over.
 
 		for i, u := range updates {
 			lb[i] = u.LossBefore
@@ -343,6 +456,7 @@ func runLoop(cfg RunConfig, pop population, test *dataset.Dataset, agg Aggregato
 			ClientLossVar:  mathx.Variance(lb),
 			ClientLossMax:  mathx.Max(lb),
 			ClientLossMin:  mathx.Min(lb),
+			Quarantined:    quarantined,
 			DecisionTime:   decision,
 			AggTime:        aggTime,
 		}
@@ -379,24 +493,64 @@ func runLoop(cfg RunConfig, pop population, test *dataset.Dataset, agg Aggregato
 // updates, slots and seen are caller-owned scratch of length (capacity
 // for seen) at least len(selected); updates[:len(selected)] is filled in
 // selection order.
-func trainCohort(pop population, selected []int, global []float64, lc LocalConfig, prec Precision, pool *engine.Pool, updates []Update, slots []*Client, seen map[int]struct{}) {
+//
+// A non-nil attack runtime corrupts the cohort in two places, both
+// order-invariant: data poisoning wraps each malicious client's shard
+// during the single-threaded checkout (and unwraps it before checkin),
+// and weight corruption rewrites each finished update inside the
+// fan-out — a pure function of (round, client id), so any lane may run
+// it. atk == nil compiles down to the historical benign path.
+func trainCohort(pop population, selected []int, global []float64, lc LocalConfig, prec Precision, pool *engine.Pool, round int, atk *attackRuntime, updates []Update, slots []*Client, seen map[int]struct{}) {
+	var orig []dataset.Data
+	if atk != nil && atk.data != nil {
+		orig = make([]dataset.Data, len(selected))
+	}
 	if pool != nil && len(selected) > 1 && distinctInto(seen, selected) {
 		for i, ci := range selected {
 			slots[i] = pop.checkout(i, ci)
+			if orig != nil {
+				orig[i] = poisonData(atk, slots[i])
+			}
 		}
 		pool.For(len(selected), func(i int) {
 			updates[i] = slots[i].run(global, lc, prec)
+			if atk != nil && atk.malicious(updates[i].ClientID) {
+				atk.corrupt(round, global, &updates[i])
+			}
 		})
 		for i := range selected {
+			if orig != nil && orig[i] != nil {
+				slots[i].Data = orig[i]
+			}
 			pop.checkin(i, slots[i])
 		}
 		return
 	}
 	for i, ci := range selected {
 		c := pop.checkout(0, ci)
+		if orig != nil {
+			orig[i] = poisonData(atk, c)
+		}
 		updates[i] = c.run(global, lc, prec)
+		if atk != nil && atk.malicious(updates[i].ClientID) {
+			atk.corrupt(round, global, &updates[i])
+		}
+		if orig != nil && orig[i] != nil {
+			c.Data = orig[i]
+		}
 		pop.checkin(0, c)
 	}
+}
+
+// poisonData swaps a malicious client's shard for its poisoned wrapper
+// and returns the original for restoration (nil for honest clients).
+func poisonData(atk *attackRuntime, c *Client) dataset.Data {
+	if !atk.malicious(c.ID) {
+		return nil
+	}
+	orig := c.Data
+	c.Data = atk.data.CorruptData(orig)
+	return orig
 }
 
 // distinctInto reports whether all indices differ (the Selector

@@ -18,7 +18,10 @@ go test -race -run 'TestConcurrentFanOutSmoke|TestCacheConcurrentFanOutSmoke' ./
 go test -race -short -run 'TestNestedDeterminismMatrix|TestStealVsInlineEquivalence|TestStealIntoSaturatedNestedFor|TestStealWakeForLateNestedJob|TestConcurrentSiblingGridsRace' ./internal/engine/
 
 # Key-codec fuzz seeds in short mode (the corpus only; `make fuzz` runs
-# the fuzzing engine proper).
+# the fuzzing engine proper). The corpus covers both the legacy 7-field
+# keys and the long-form 10-field Byzantine keys (attack, fraction,
+# merge rule), including the malformed 8/9-field and non-canonical
+# all-zero long-form shapes.
 go test -short -run 'FuzzParseCellKey|TestCellKeyPropertyRoundTrip' ./internal/experiments/
 
 # Virtual-client gates: the lazy ClientPool path must be bit-identical
@@ -37,7 +40,21 @@ go test -race -run 'TestVirtualMatchesEagerBitIdentical|TestRunVirtualDuplicateS
 # counts, partial rounds must stay deterministic, and a client whose
 # update straddles server versions must resume its per-identity RNG
 # stream exactly.
-go test -race -run 'TestAsyncDegenerateMatchesRunVirtual|TestAsyncSeededTraceReproducible|TestAsyncPartialRounds|TestClientPoolStraddlingResume' ./internal/fl/
+go test -race -run 'TestAsyncDegenerateMatchesRunVirtual|TestAsyncSeededTraceReproducible|TestAsyncPartialRounds|TestClientPoolStraddlingResume|TestAsyncStarvationReturnsError' ./internal/fl/
+
+# Byzantine attack-determinism gate under -race: a seeded sign-flip
+# cohort must replay bitwise across worker counts 1/2/4/8 and across the
+# eager/virtual/degenerate-async engines (plus the f32 twin and the
+# straggler-trace composition), the zero-value attack/merger/quarantine
+# configuration must reproduce the benign run byte for byte, every
+# robust merger must be pool-width-invariant, and a NaN-uploading fleet
+# must finish with quarantine counts instead of a poisoned global model.
+go test -race -run 'TestAttackSeededBitIdenticalAcrossWorkers|TestAttackDegenerateByteIdentity|TestAttackAsyncTraceReproducible|TestAttackF32AcrossWorkers|TestMergerPoolWidthInvariance|TestWeightedMergeMatchesAggregate|TestQuarantineNaNRunCompletes' ./internal/fl/
+
+# Benign byte-identity across the merge-seam refactor: figure6 rendered
+# cold, warm (0 cache misses) and with the explicit weighted merge rule
+# must be byte-for-byte the zero-value output.
+go test -run 'TestBenignOutputsUnchangedByRefactor|TestByzantineGrid' ./internal/experiments/
 
 # Compute-kernel gates: the blocked/register-tiled GEMM kernels (every
 # backend in the host's fallback chain — avx512/avx/neon and pure-Go —
@@ -99,3 +116,14 @@ grep -q 'pruned 0 stale' "$tmp/gc.err"
 "$tmp/tables" -exp table3 -scale ci -rounds 2 -seed 1 -cache "$tmp/cells" 2> "$tmp/postgc.err" | tail -n +2 > "$tmp/postgc.txt"
 diff "$tmp/cold.txt" "$tmp/postgc.txt"
 grep -q ' 0 misses' "$tmp/postgc.err"
+
+# Byzantine CLI smoke: the attack × merger grid renders, and the benign
+# spellings of the new flags (-attack none -merger weighted) are
+# canonicalized — byte-identical output AND the same cache addresses as
+# the flagless run (0 misses against the cache written above), so
+# pre-existing cached cells stay valid.
+"$tmp/tables" -exp byzantine -scale ci -rounds 2 -seed 1 | tail -n +2 > "$tmp/byz.txt"
+grep -q 'signflip 40%' "$tmp/byz.txt"
+"$tmp/tables" -exp table3 -scale ci -rounds 2 -seed 1 -attack none -merger weighted -cache "$tmp/cells" 2> "$tmp/benign.err" | tail -n +2 > "$tmp/benign.txt"
+diff "$tmp/cold.txt" "$tmp/benign.txt"
+grep -q ' 0 misses' "$tmp/benign.err"
